@@ -1,0 +1,8 @@
+"""Shared benchmark-scale constants (see conftest.py for the rationale)."""
+
+#: Scale used by every figure benchmark.
+SCALE = "tiny"
+
+#: Reduced load grids so the full suite stays fast.
+SWEEP_LOADS = (0.5, 1.0)
+ADAPTIVE_LOADS = (0.4, 0.8)

@@ -1,0 +1,26 @@
+"""Figure 10: DAMQ throughput vs per-VC private buffer reservation (UN, MIN).
+
+Expected shape: fully shared DAMQs (0% private) congest or deadlock at
+saturation because a single VC can absorb the whole pool; ~75% private
+reservation performs best, barely above statically partitioned buffers (100%).
+"""
+
+from bench_common import SCALE
+from repro.experiments import figure10, render_series_table
+
+FRACTIONS = (0.0, 0.25, 0.75, 1.0)
+LOADS = (0.5, 1.0)
+
+
+def test_figure10(benchmark, capsys):
+    series = benchmark.pedantic(
+        lambda: figure10(scale=SCALE, fractions=FRACTIONS, loads=LOADS),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + render_series_table("Figure 10: DAMQ private reservation sweep", series))
+    peaks = {entry.label: max(entry.accepted()) for entry in series}
+    # Large private reservations must not lose to the fully shared pool at
+    # saturation (the paper's 75% optimum; 0% deadlocks outright at scale).
+    assert peaks["reserved 75%"] >= peaks["reserved 0%"] - 0.05
+    assert peaks["reserved 100%"] > 0.3

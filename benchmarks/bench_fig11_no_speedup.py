@@ -1,0 +1,29 @@
+"""Figure 11: maximum throughput without router speedup (crossbar speedup = 1).
+
+Expected shape: without speedup HoL blocking dominates, so FlexVC's relative
+gains are larger than in Figure 6 (the paper reports up to 37.8% over the
+baseline) while DAMQ stays marginal.
+"""
+
+import pytest
+
+from bench_common import SCALE
+from repro.experiments import figure11, render_bar_table
+
+CAPACITIES = ((128, 512), (256, 1024))
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "bursty"])
+def test_figure11(benchmark, capsys, pattern):
+    result = benchmark.pedantic(
+        lambda: figure11(scale=SCALE, patterns=(pattern,), capacities=CAPACITIES),
+        rounds=1, iterations=1,
+    )
+    table = result[pattern]
+    with capsys.disabled():
+        print("\n" + render_bar_table(
+            f"Figure 11 ({pattern}) max throughput, no speedup", table))
+    largest = table[f"{CAPACITIES[-1][0]}/{CAPACITIES[-1][1]}"]
+    flexvc_best = max(v for k, v in largest.items() if k.startswith("FlexVC"))
+    assert flexvc_best >= largest["Baseline"] - 0.03
+    assert all(0.0 <= v <= 1.0 for row in table.values() for v in row.values())

@@ -1,0 +1,34 @@
+"""Figure 5: latency and accepted load vs offered load under oblivious routing.
+
+Series: Baseline, DAMQ 75%, FlexVC 2/1, FlexVC 4/2, FlexVC 8/4 (MIN for
+UN/BURSTY-UN, VAL for ADV).  Expected shape: FlexVC >= baseline at equal VCs,
+larger FlexVC VC sets raise saturation throughput further, DAMQ only modestly
+above the baseline.
+"""
+
+import pytest
+
+from bench_common import SCALE, SWEEP_LOADS
+from repro.experiments import figure5, render_series_table, summarize_improvements
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "bursty", "adversarial"])
+def test_figure5(benchmark, capsys, pattern):
+    result = benchmark.pedantic(
+        lambda: figure5(scale=SCALE, patterns=(pattern,), loads=SWEEP_LOADS),
+        rounds=1, iterations=1,
+    )
+    series = result[pattern]
+    with capsys.disabled():
+        print("\n" + render_series_table(f"Figure 5 ({pattern})", series))
+    # Structural checks: every series produced one result per load and FlexVC
+    # with the largest VC set is at least as good as the baseline at saturation.
+    assert all(len(entry.results) == len(SWEEP_LOADS) for entry in series)
+    peaks = {entry.label: max(entry.accepted()) for entry in series}
+    largest_flexvc = [label for label in peaks if label.startswith("FlexVC")][-1]
+    assert peaks[largest_flexvc] >= peaks["Baseline"] - 0.05
+    improvements = summarize_improvements(series, "Baseline")
+    # Under UN/BURSTY the FlexVC advantage is clear; deep-saturation ADV at the
+    # tiny benchmark scale is noisy, so only require rough parity there.
+    threshold = 0.95 if pattern != "adversarial" else 0.88
+    assert improvements[largest_flexvc] > threshold

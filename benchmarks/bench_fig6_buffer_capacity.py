@@ -1,0 +1,27 @@
+"""Figure 6: maximum throughput vs total buffer capacity per port (speedup 2x)."""
+
+import pytest
+
+from bench_common import SCALE
+from repro.experiments import figure6, render_bar_table
+
+CAPACITIES = ((128, 512), (256, 1024))
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "bursty", "adversarial"])
+def test_figure6(benchmark, capsys, pattern):
+    result = benchmark.pedantic(
+        lambda: figure6(scale=SCALE, patterns=(pattern,), capacities=CAPACITIES),
+        rounds=1, iterations=1,
+    )
+    table = result[pattern]
+    with capsys.disabled():
+        print("\n" + render_bar_table(f"Figure 6 ({pattern}) max throughput", table))
+    for capacity_label, row in table.items():
+        assert set(row) >= {"Baseline", "DAMQ 75%"}
+        assert all(0.0 <= value <= 1.0 for value in row.values())
+    # FlexVC with the enlarged VC set should match or beat the baseline at the
+    # largest capacity (the paper reports up to 23% improvement).
+    largest = table[f"{CAPACITIES[-1][0]}/{CAPACITIES[-1][1]}"]
+    flexvc_labels = [label for label in largest if label.startswith("FlexVC")]
+    assert max(largest[label] for label in flexvc_labels) >= largest["Baseline"] - 0.03

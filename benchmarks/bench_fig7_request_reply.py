@@ -1,0 +1,27 @@
+"""Figure 7: request-reply traffic with oblivious routing and FlexVC VC splits.
+
+Expected shape: FlexVC mitigates the post-saturation congestion of the
+baseline and DAMQ; configurations with more VCs in the *request* sub-path
+(e.g. 6/4 arranged as 4/3+2/1) outperform those that merely add reply VCs.
+"""
+
+import pytest
+
+from bench_common import SCALE, SWEEP_LOADS
+from repro.experiments import figure7, render_series_table
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "adversarial"])
+def test_figure7(benchmark, capsys, pattern):
+    result = benchmark.pedantic(
+        lambda: figure7(scale=SCALE, patterns=(pattern,), loads=SWEEP_LOADS),
+        rounds=1, iterations=1,
+    )
+    series = result[pattern]
+    with capsys.disabled():
+        print("\n" + render_series_table(f"Figure 7 ({pattern}, request-reply)", series))
+    assert all(len(entry.results) == len(SWEEP_LOADS) for entry in series)
+    peaks = {entry.label: max(entry.accepted()) for entry in series}
+    flexvc_best = max(v for k, v in peaks.items() if k.startswith("FlexVC"))
+    assert flexvc_best >= peaks["Baseline"] - 0.03
+    assert all(not r.deadlock_suspected for entry in series for r in entry.results)

@@ -1,0 +1,32 @@
+"""Figure 8: Piggyback source-adaptive routing (sensing variants, FlexVC-minCred).
+
+Expected shape: under UN all FlexVC variants avoid the baseline PB congestion;
+under ADV plain FlexVC degrades the congestion signal while FlexVC-minCred
+with per-port sensing stays competitive with the baseline despite using 25%
+fewer VCs (6/3 instead of 8/4).
+"""
+
+import pytest
+
+from bench_common import ADAPTIVE_LOADS, SCALE
+from repro.experiments import figure8, render_series_table
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "adversarial"])
+def test_figure8(benchmark, capsys, pattern):
+    result = benchmark.pedantic(
+        lambda: figure8(scale=SCALE, patterns=(pattern,), loads=ADAPTIVE_LOADS),
+        rounds=1, iterations=1,
+    )
+    series = result[pattern]
+    with capsys.disabled():
+        print("\n" + render_series_table(f"Figure 8 ({pattern}, PB adaptive)", series))
+    labels = {entry.label for entry in series}
+    assert any("minCred" in label for label in labels)
+    assert all(len(entry.results) == len(ADAPTIVE_LOADS) for entry in series)
+    assert all(not r.deadlock_suspected for entry in series for r in entry.results)
+    if pattern == "adversarial":
+        # Adaptive routing must actually misroute under ADV traffic.
+        for entry in series:
+            if entry.label.startswith("PB"):
+                assert max(r.misrouted_fraction for r in entry.results) > 0.3

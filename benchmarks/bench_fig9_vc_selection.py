@@ -1,0 +1,29 @@
+"""Figure 9: throughput at 100% load vs VC selection function and VC arrangement.
+
+Expected shape: the request sub-path VC count dominates; among selection
+functions JSQ and highest-VC lead, lowest-VC trails, all within a few percent.
+"""
+
+from bench_common import SCALE
+from repro.experiments import figure9, render_bar_table
+from repro.experiments.figures import FIG9_ARRANGEMENTS
+
+ARRANGEMENTS = FIG9_ARRANGEMENTS[:4]  # trimmed for benchmark runtime
+
+
+def test_figure9(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figure9(scale=SCALE, arrangements=ARRANGEMENTS),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + render_bar_table(
+            "Figure 9: UN request-reply throughput at 100% load", result))
+    for row in result.values():
+        assert {"Baseline", "DAMQ", "FlexVC jsq", "FlexVC lowest"} <= set(row)
+        assert all(0.0 < value <= 1.0 for value in row.values())
+    # The selection function has a second-order effect: for every arrangement
+    # the spread between policies stays well below the effect of VC counts.
+    for label, row in result.items():
+        selections = [v for k, v in row.items() if k.startswith("FlexVC")]
+        assert max(selections) - min(selections) < 0.25

@@ -1,0 +1,37 @@
+"""Tables I-IV: analytical path-feasibility classification under FlexVC."""
+
+from repro.experiments import (
+    EXPECTED_TABLE1,
+    EXPECTED_TABLE2,
+    EXPECTED_TABLE3,
+    EXPECTED_TABLE4,
+    render_all_tables,
+)
+from repro.core.feasibility import table1, table2, table3, table4
+
+
+def test_table1(benchmark):
+    result = benchmark(table1)
+    assert result == EXPECTED_TABLE1
+
+
+def test_table2(benchmark):
+    result = benchmark(table2)
+    assert result == EXPECTED_TABLE2
+
+
+def test_table3(benchmark):
+    result = benchmark(table3)
+    assert result == EXPECTED_TABLE3
+
+
+def test_table4(benchmark):
+    result = benchmark(table4)
+    assert result == EXPECTED_TABLE4
+
+
+def test_render_all_tables(benchmark, capsys):
+    text = benchmark(render_all_tables)
+    with capsys.disabled():
+        print("\n" + text)
+    assert "Table I" in text and "Table IV" in text

@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates the data behind one table or figure of the
+paper at the ``tiny`` experiment scale (a 9-group / 72-node Dragonfly, short
+warm-up and measurement windows, single seed) so the whole suite completes in
+minutes.  The printed rows are the same series the paper plots; absolute
+numbers differ from the paper's 16,512-node testbed (see EXPERIMENTS.md) but
+the comparative shapes are the reproduction target.
+
+Scale and load grids live in ``bench_common.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

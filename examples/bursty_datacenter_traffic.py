@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Bursty data-centre style traffic: buffer organizations under BURSTY-UN.
+
+The paper motivates FlexVC partly by its ability to absorb traffic bursts
+without dedicating a DAMQ-style shared memory to each port.  This example
+drives the scaled Dragonfly with the two-state Markov ON/OFF traffic model
+(average burst of 5 packets towards a fixed destination, as fitted to
+data-centre traces) and compares, at a configurable load:
+
+* the statically partitioned baseline,
+* a DAMQ with the paper's 75% private reservation,
+* FlexVC with the same 2/1 VC set, and
+* FlexVC exploiting the 4/2 set that Valiant routing would need anyway.
+
+Run:  python examples/bursty_datacenter_traffic.py [--loads 0.3 0.5 0.7]
+"""
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (  # noqa: E402
+    RouterConfig,
+    RoutingConfig,
+    SimulationConfig,
+    TrafficConfig,
+    VcArrangement,
+    run_simulation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loads", type=float, nargs="+", default=[0.3, 0.5, 0.7])
+    parser.add_argument("--burst-length", type=float, default=5.0)
+    parser.add_argument("--cycles", type=int, default=2000)
+    parser.add_argument("--warmup", type=int, default=1000)
+    args = parser.parse_args()
+
+    base = SimulationConfig(
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        traffic=TrafficConfig(pattern="bursty", load=0.5,
+                              burst_length=args.burst_length),
+    )
+    scenarios = {
+        "Baseline 2/1": base,
+        "DAMQ 75% private": replace(
+            base, router=RouterConfig(buffer_organization="damq")),
+        "FlexVC 2/1": replace(base, routing=RoutingConfig(vc_policy="flexvc")),
+        "FlexVC 4/2": replace(
+            base,
+            routing=RoutingConfig(vc_policy="flexvc"),
+            arrangement=VcArrangement.single_class(4, 2)),
+    }
+
+    print(f"BURSTY-UN traffic (average burst {args.burst_length:.0f} packets) "
+          "on a scaled Dragonfly\n")
+    header = f"{'scenario':24s}" + "".join(
+        f"  load {load:.2f} (acc / lat)" for load in args.loads)
+    print(header)
+    for label, config in scenarios.items():
+        cells = []
+        for load in args.loads:
+            result = run_simulation(config.with_load(load))
+            cells.append(f"  {result.accepted_load:.3f} / {result.average_latency:6.1f}")
+        print(f"{label:24s}" + "".join(f"{cell:>22s}" for cell in cells))
+
+    print("\nExpected shape (Figures 5b and 6b): latency differences appear"
+          " well below saturation because bursts congest individual VCs;"
+          " FlexVC reduces latency and raises the saturation point more than"
+          " the DAMQ does, and the gap grows with the number of VCs it can"
+          " spread a burst over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Keeping a ``setup.py`` lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``python setup.py develop``) work; all
+project metadata still lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

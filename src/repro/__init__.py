@@ -1,0 +1,108 @@
+"""repro: a reproduction of "FlexVC: Flexible Virtual Channel Management in
+Low-Diameter Networks" (Fuentes, Vallejo, Beivide, Minkenberg, Valero —
+IPDPS 2017).
+
+The package contains two layers:
+
+* :mod:`repro.core` — the paper's contribution in isolation: VC arrangements,
+  the distance-based baseline policy, FlexVC (safe/opportunistic hops,
+  request-reply handling, link-type restrictions), FlexVC-minCred accounting
+  and the analytical feasibility tables (Tables I-IV).
+* the simulation substrate — Dragonfly / Flattened Butterfly topologies, a
+  cycle-level virtual cut-through router model (credits, separable
+  allocation, static/DAMQ buffers), MIN/VAL/PAR/Piggyback routing, synthetic
+  traffic (UN, ADV, BURSTY-UN, request-reply) and the experiment harness that
+  regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import SimulationConfig, VcArrangement, run_simulation
+    from dataclasses import replace
+
+    config = SimulationConfig()                        # scaled Dragonfly, MIN, baseline
+    flex = replace(config,
+                   routing=replace(config.routing, vc_policy="flexvc"),
+                   arrangement=VcArrangement.single_class(4, 2))
+    print(run_simulation(config))
+    print(run_simulation(flex))
+"""
+
+from .config import (
+    NetworkConfig,
+    RouterConfig,
+    RoutingConfig,
+    SimulationConfig,
+    TrafficConfig,
+)
+from .core import (
+    DistanceBasedPolicy,
+    FlexVcPolicy,
+    HopContext,
+    HopKind,
+    LinkType,
+    MessageClass,
+    PathSupport,
+    VcArrangement,
+    VcRange,
+    classify,
+    classify_request_reply,
+    flexvc,
+    make_policy,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .metrics import MetricsCollector, SimulationResult
+from .packet import Packet, RouteKind
+from .simulation import (
+    Simulation,
+    average_results,
+    build_topology,
+    run_seeds,
+    run_simulation,
+)
+from .topology import Dragonfly, FlattenedButterfly2D
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimulationConfig",
+    "NetworkConfig",
+    "RouterConfig",
+    "RoutingConfig",
+    "TrafficConfig",
+    # core FlexVC
+    "VcArrangement",
+    "FlexVcPolicy",
+    "DistanceBasedPolicy",
+    "HopContext",
+    "HopKind",
+    "VcRange",
+    "LinkType",
+    "MessageClass",
+    "PathSupport",
+    "classify",
+    "classify_request_reply",
+    "flexvc",
+    "make_policy",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    # simulation
+    "Simulation",
+    "run_simulation",
+    "run_seeds",
+    "average_results",
+    "build_topology",
+    "SimulationResult",
+    "MetricsCollector",
+    "Packet",
+    "RouteKind",
+    # topologies
+    "Dragonfly",
+    "FlattenedButterfly2D",
+]

@@ -1,0 +1,7 @@
+"""Buffer organizations: statically partitioned FIFOs and DAMQs."""
+
+from .base import BufferOrganization
+from .damq import DamqBuffer
+from .fifo import StaticallyPartitionedBuffer
+
+__all__ = ["BufferOrganization", "StaticallyPartitionedBuffer", "DamqBuffer"]

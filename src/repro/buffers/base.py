@@ -1,0 +1,73 @@
+"""Buffer organization interface.
+
+A *buffer organization* governs how the memory of an input port is shared
+among its virtual channels.  The same abstraction is used in two places:
+
+* at the **downstream** input port, to account the phits actually stored; and
+* at the **upstream** output port, as the credit mirror that decides whether a
+  packet may be forwarded (virtual cut-through requires space for the whole
+  packet before the transfer starts).
+
+Keeping both sides on the same class guarantees the credit view can never
+diverge structurally from the real buffer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class BufferOrganization(ABC):
+    """Space accounting for the VCs of one port."""
+
+    def __init__(self, num_vcs: int) -> None:
+        if num_vcs < 1:
+            raise ValueError("num_vcs must be >= 1")
+        self.num_vcs = num_vcs
+
+    # -- queries -----------------------------------------------------------
+    @abstractmethod
+    def free_for(self, vc: int) -> int:
+        """Phits currently available to ``vc`` (private + any shared pool)."""
+
+    @abstractmethod
+    def occupancy(self, vc: int) -> int:
+        """Phits currently held by ``vc``."""
+
+    @abstractmethod
+    def capacity_for(self, vc: int) -> int:
+        """Maximum phits ``vc`` could hold if it had the port to itself."""
+
+    @property
+    @abstractmethod
+    def total_capacity(self) -> int:
+        """Total phits of memory in the port."""
+
+    def total_occupancy(self) -> int:
+        return sum(self.occupancy(vc) for vc in range(self.num_vcs))
+
+    def can_accept(self, vc: int, phits: int) -> bool:
+        """Virtual cut-through admission check for a whole packet."""
+        return self.free_for(vc) >= phits
+
+    # -- mutations -----------------------------------------------------------
+    @abstractmethod
+    def allocate(self, vc: int, phits: int) -> None:
+        """Reserve ``phits`` for ``vc``.  Raises if the space is not available."""
+
+    @abstractmethod
+    def release(self, vc: int, phits: int) -> None:
+        """Return ``phits`` previously allocated to ``vc``."""
+
+    # -- introspection ---------------------------------------------------------
+    def occupancies(self) -> Sequence[int]:
+        return [self.occupancy(vc) for vc in range(self.num_vcs)]
+
+    def _check_vc(self, vc: int) -> None:
+        if not 0 <= vc < self.num_vcs:
+            raise ValueError(f"VC {vc} out of range [0, {self.num_vcs})")
+
+    def _check_phits(self, phits: int) -> None:
+        if phits < 0:
+            raise ValueError(f"phits must be non-negative, got {phits}")

@@ -1,0 +1,73 @@
+"""Statically partitioned per-VC FIFO buffers (the paper's simple organization)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import BufferOrganization
+
+
+class StaticallyPartitionedBuffer(BufferOrganization):
+    """Each VC owns a fixed, private slice of the port memory.
+
+    Parameters
+    ----------
+    num_vcs:
+        Virtual channels in the port.
+    capacity_per_vc:
+        Either a single capacity (phits) applied to every VC or one value per
+        VC.
+    """
+
+    def __init__(self, num_vcs: int, capacity_per_vc: int | Sequence[int]) -> None:
+        super().__init__(num_vcs)
+        if isinstance(capacity_per_vc, int):
+            capacities = [capacity_per_vc] * num_vcs
+        else:
+            capacities = list(capacity_per_vc)
+            if len(capacities) != num_vcs:
+                raise ValueError(
+                    f"expected {num_vcs} per-VC capacities, got {len(capacities)}"
+                )
+        for cap in capacities:
+            if cap < 1:
+                raise ValueError(f"per-VC capacity must be >= 1 phit, got {cap}")
+        self._capacity = capacities
+        self._occupancy = [0] * num_vcs
+
+    # -- queries -----------------------------------------------------------
+    def free_for(self, vc: int) -> int:
+        self._check_vc(vc)
+        return self._capacity[vc] - self._occupancy[vc]
+
+    def occupancy(self, vc: int) -> int:
+        self._check_vc(vc)
+        return self._occupancy[vc]
+
+    def capacity_for(self, vc: int) -> int:
+        self._check_vc(vc)
+        return self._capacity[vc]
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(self._capacity)
+
+    # -- mutations -----------------------------------------------------------
+    def allocate(self, vc: int, phits: int) -> None:
+        self._check_vc(vc)
+        self._check_phits(phits)
+        if self._occupancy[vc] + phits > self._capacity[vc]:
+            raise ValueError(
+                f"VC {vc} overflow: occupancy {self._occupancy[vc]} + {phits} "
+                f"> capacity {self._capacity[vc]}"
+            )
+        self._occupancy[vc] += phits
+
+    def release(self, vc: int, phits: int) -> None:
+        self._check_vc(vc)
+        self._check_phits(phits)
+        if phits > self._occupancy[vc]:
+            raise ValueError(
+                f"VC {vc} underflow: releasing {phits} with occupancy {self._occupancy[vc]}"
+            )
+        self._occupancy[vc] -= phits

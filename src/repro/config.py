@@ -1,0 +1,249 @@
+"""Configuration dataclasses for simulations and experiments.
+
+The defaults follow Table V of the paper (router speedup 2x, 5-cycle pipeline,
+32/256-phit local/global VC buffers, 8-phit packets, JSQ selection, PB
+threshold 3) with one deliberate substitution documented in DESIGN.md: the
+default network is a *scaled* balanced Dragonfly (``h=2``: 9 groups, 36
+routers, 72 nodes) instead of the paper's ``h=8`` (2,064 routers), so that
+pure-Python experiments finish in seconds rather than days.  Every parameter
+of the paper's setup remains reachable through these dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .core.arrangement import VcArrangement
+
+VALID_TOPOLOGIES = ("dragonfly", "flattened_butterfly")
+VALID_BUFFER_ORGANIZATIONS = ("static", "damq")
+VALID_VC_POLICIES = ("baseline", "flexvc")
+VALID_ROUTINGS = ("min", "val", "par", "pb")
+VALID_VC_SELECTIONS = ("jsq", "highest", "lowest", "random")
+VALID_TRAFFIC_PATTERNS = ("uniform", "adversarial", "bursty")
+VALID_PB_SENSING = ("port", "vc")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Topology and link parameters."""
+
+    topology: str = "dragonfly"
+    #: Dragonfly global links per router (balanced: p=h, a=2h, g=a*h+1).
+    h: int = 2
+    p: Optional[int] = None
+    a: Optional[int] = None
+    num_groups: Optional[int] = None
+    #: Flattened Butterfly dimensions (used when topology="flattened_butterfly").
+    k1: int = 4
+    k2: int = 4
+    fb_nodes_per_router: int = 2
+    #: Link latencies in cycles (Table V: 10 local / 100 global).
+    local_latency: int = 10
+    global_latency: int = 100
+
+    def validate(self) -> None:
+        if self.topology not in VALID_TOPOLOGIES:
+            raise ValueError(f"topology must be one of {VALID_TOPOLOGIES}, got {self.topology!r}")
+        if self.local_latency < 1 or self.global_latency < 1:
+            raise ValueError("link latencies must be >= 1 cycle")
+        if self.topology == "dragonfly" and self.h < 1:
+            raise ValueError("Dragonfly h must be >= 1")
+        if self.topology == "flattened_butterfly" and (self.k1 < 2 or self.k2 < 1):
+            raise ValueError("Flattened Butterfly needs k1 >= 2 and k2 >= 1")
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router microarchitecture and buffer sizing."""
+
+    #: "static" (per-VC FIFOs) or "damq".
+    buffer_organization: str = "static"
+    #: Fraction of the port memory privately reserved per VC in DAMQ mode
+    #: (the paper's best configuration is 75%, Section VI-C).
+    damq_private_fraction: float = 0.75
+    #: Per-VC buffer capacities in phits (Table V defaults).
+    local_vc_phits: int = 32
+    global_vc_phits: int = 256
+    injection_vc_phits: int = 256
+    #: Per-port totals.  When set they override the per-VC sizes and the port
+    #: memory is divided among the implemented VCs — the "constant buffer per
+    #: port" mode of Figures 6 and 11.
+    local_port_phits: Optional[int] = None
+    global_port_phits: Optional[int] = None
+    num_injection_vcs: int = 3
+    output_buffer_phits: int = 32
+    #: Crossbar frequency speedup (allocation iterations per cycle).
+    speedup: int = 2
+    #: Router pipeline latency in cycles.
+    pipeline_latency: int = 5
+
+    def validate(self) -> None:
+        if self.buffer_organization not in VALID_BUFFER_ORGANIZATIONS:
+            raise ValueError(
+                f"buffer_organization must be one of {VALID_BUFFER_ORGANIZATIONS}, "
+                f"got {self.buffer_organization!r}"
+            )
+        if not 0.0 <= self.damq_private_fraction <= 1.0:
+            raise ValueError("damq_private_fraction must be in [0, 1]")
+        for name in ("local_vc_phits", "global_vc_phits", "injection_vc_phits",
+                     "output_buffer_phits"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1 phit")
+        for name in ("local_port_phits", "global_port_phits"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 phit when set")
+        if self.num_injection_vcs < 1:
+            raise ValueError("num_injection_vcs must be >= 1")
+        if self.speedup < 1:
+            raise ValueError("speedup must be >= 1")
+        if self.pipeline_latency < 0:
+            raise ValueError("pipeline_latency must be >= 0")
+
+    def port_capacity(self, num_vcs: int, is_global: bool) -> int:
+        """Total phits of memory for a port with ``num_vcs`` VCs."""
+        per_port = self.global_port_phits if is_global else self.local_port_phits
+        if per_port is not None:
+            return per_port
+        per_vc = self.global_vc_phits if is_global else self.local_vc_phits
+        return per_vc * num_vcs
+
+    def vc_capacity(self, num_vcs: int, is_global: bool) -> int:
+        """Per-VC capacity (statically partitioned view) for a port."""
+        return max(1, self.port_capacity(num_vcs, is_global) // num_vcs)
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Routing algorithm, VC policy and adaptive-routing sensing options."""
+
+    algorithm: str = "min"
+    vc_policy: str = "baseline"
+    vc_selection: str = "jsq"
+    #: Piggyback / UGAL threshold T (Table V).
+    pb_threshold: int = 3
+    #: Saturation sensing granularity: whole port occupancy or a single VC.
+    pb_sensing: str = "port"
+    #: FlexVC-minCred: consider only minimally-routed credits when sensing.
+    pb_min_credits_only: bool = False
+    #: A global port is saturated when its occupancy exceeds this factor times
+    #: the average occupancy of the router's global ports (paper: 50% above).
+    pb_saturation_factor: float = 1.5
+
+    def validate(self) -> None:
+        if self.algorithm not in VALID_ROUTINGS:
+            raise ValueError(f"algorithm must be one of {VALID_ROUTINGS}, got {self.algorithm!r}")
+        if self.vc_policy not in VALID_VC_POLICIES:
+            raise ValueError(f"vc_policy must be one of {VALID_VC_POLICIES}")
+        if self.vc_selection not in VALID_VC_SELECTIONS:
+            raise ValueError(f"vc_selection must be one of {VALID_VC_SELECTIONS}")
+        if self.pb_sensing not in VALID_PB_SENSING:
+            raise ValueError(f"pb_sensing must be one of {VALID_PB_SENSING}")
+        if self.pb_threshold < 0:
+            raise ValueError("pb_threshold must be >= 0")
+        if self.pb_saturation_factor <= 0:
+            raise ValueError("pb_saturation_factor must be > 0")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Synthetic traffic pattern parameters (Section IV-B)."""
+
+    pattern: str = "uniform"
+    #: Offered load in phits/node/cycle.
+    load: float = 0.5
+    packet_size: int = 8
+    #: Generate request-reply (reactive) traffic.
+    reactive: bool = False
+    #: Average burst length (packets) of the BURSTY-UN ON/OFF Markov model.
+    burst_length: float = 5.0
+    #: ADV traffic sends to a random node ``adversarial_offset`` groups ahead.
+    adversarial_offset: int = 1
+
+    def validate(self) -> None:
+        if self.pattern not in VALID_TRAFFIC_PATTERNS:
+            raise ValueError(f"pattern must be one of {VALID_TRAFFIC_PATTERNS}")
+        if not 0.0 <= self.load <= 1.0:
+            raise ValueError("load must be within [0, 1] phits/node/cycle")
+        if self.packet_size < 1:
+            raise ValueError("packet_size must be >= 1 phit")
+        if self.burst_length < 1.0:
+            raise ValueError("burst_length must be >= 1 packet")
+        if self.adversarial_offset < 1:
+            raise ValueError("adversarial_offset must be >= 1")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete description of one simulation run."""
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    router: RouterConfig = field(default_factory=RouterConfig)
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    arrangement: VcArrangement = field(
+        default_factory=lambda: VcArrangement.single_class(2, 1)
+    )
+    warmup_cycles: int = 1500
+    measure_cycles: int = 3000
+    seed: int = 1
+
+    def validate(self) -> None:
+        self.network.validate()
+        self.router.validate()
+        self.routing.validate()
+        self.traffic.validate()
+        if self.warmup_cycles < 0 or self.measure_cycles < 1:
+            raise ValueError("warmup_cycles must be >= 0 and measure_cycles >= 1")
+        if self.traffic.reactive and not self.arrangement.is_reactive:
+            raise ValueError(
+                "reactive traffic requires an arrangement with reply VCs "
+                "(use VcArrangement.request_reply)"
+            )
+        self._validate_arrangement_supports_routing()
+
+    def _validate_arrangement_supports_routing(self) -> None:
+        """Reject configurations whose routing cannot be deadlock-free."""
+        from .core.feasibility import PathSupport, classify
+
+        dragonfly = self.network.topology == "dragonfly"
+        algorithm = self.routing.algorithm
+        routing_for_check = {"min": "MIN", "val": "VAL", "par": "PAR", "pb": "VAL"}[algorithm]
+        if self.routing.vc_policy == "flexvc":
+            support = classify(self.arrangement, routing_for_check, dragonfly)
+            if support == PathSupport.UNSUPPORTED:
+                raise ValueError(
+                    f"arrangement {self.arrangement.label()} cannot support "
+                    f"{routing_for_check} routing even opportunistically"
+                )
+        else:
+            from .core.link_types import reference_vc_requirements
+
+            needed_local, needed_global = reference_vc_requirements(routing_for_check, dragonfly)
+            if (self.arrangement.request_local < needed_local
+                    or self.arrangement.request_global < needed_global):
+                raise ValueError(
+                    f"baseline (distance-based) {routing_for_check} routing needs at least "
+                    f"{needed_local}/{needed_global} request VCs, "
+                    f"got {self.arrangement.request_local}/{self.arrangement.request_global}"
+                )
+            if self.traffic.reactive and (
+                    self.arrangement.reply_local < needed_local
+                    or self.arrangement.reply_global < needed_global):
+                raise ValueError(
+                    f"baseline reactive {routing_for_check} routing needs at least "
+                    f"{needed_local}/{needed_global} reply VCs"
+                )
+
+    # -- convenience -------------------------------------------------------------
+    def with_load(self, load: float) -> "SimulationConfig":
+        """Copy of this configuration at a different offered load."""
+        return replace(self, traffic=replace(self.traffic, load=load))
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        return replace(self, seed=seed)
+
+    def total_cycles(self) -> int:
+        return self.warmup_cycles + self.measure_cycles

@@ -1,0 +1,84 @@
+"""Core FlexVC machinery: VC arrangements, policies, selection and feasibility."""
+
+from .arrangement import VcArrangement
+from .baseline import DistanceBasedPolicy, distance_based
+from .feasibility import (
+    PathSupport,
+    classify,
+    classify_request_reply,
+    combined_support,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .flexvc import FlexVcPolicy, flexvc, make_policy
+from .link_types import (
+    DIAMETER2_MIN,
+    DIAMETER2_PAR,
+    DIAMETER2_VAL,
+    DRAGONFLY_MIN,
+    DRAGONFLY_PAR,
+    DRAGONFLY_VAL,
+    HopSequence,
+    LinkType,
+    MessageClass,
+    count_hops,
+    hop_counts,
+    reference_path,
+    reference_vc_requirements,
+    sequence_str,
+)
+from .mincred import PortOccupancyLedger, SplitOccupancy
+from .vc_policy import HopContext, HopKind, VcPolicy, VcRange
+from .vc_selection import (
+    HighestVc,
+    JoinShortestQueue,
+    LowestVc,
+    RandomVc,
+    VcSelection,
+    make_selection,
+)
+
+__all__ = [
+    "VcArrangement",
+    "DistanceBasedPolicy",
+    "distance_based",
+    "FlexVcPolicy",
+    "flexvc",
+    "make_policy",
+    "PathSupport",
+    "classify",
+    "classify_request_reply",
+    "combined_support",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "HopContext",
+    "HopKind",
+    "VcPolicy",
+    "VcRange",
+    "LinkType",
+    "MessageClass",
+    "HopSequence",
+    "count_hops",
+    "hop_counts",
+    "reference_path",
+    "reference_vc_requirements",
+    "sequence_str",
+    "DRAGONFLY_MIN",
+    "DRAGONFLY_VAL",
+    "DRAGONFLY_PAR",
+    "DIAMETER2_MIN",
+    "DIAMETER2_VAL",
+    "DIAMETER2_PAR",
+    "SplitOccupancy",
+    "PortOccupancyLedger",
+    "VcSelection",
+    "JoinShortestQueue",
+    "HighestVc",
+    "LowestVc",
+    "RandomVc",
+    "make_selection",
+]

@@ -1,0 +1,119 @@
+"""Virtual-channel arrangements.
+
+A :class:`VcArrangement` describes how many virtual channels are implemented
+per link type and per message class, using the notation of the paper:
+``4/2`` means 4 local VCs and 2 global VCs; ``6/4 (4/3+2/1)`` means 4/3 VCs
+for the request sub-sequence and 2/1 for the reply sub-sequence, 6/4 overall.
+
+Within an input port the VC indices of a given link type are laid out as the
+concatenation ``[request VCs | reply VCs]`` (Section III-B): requests may only
+use the request prefix, replies may use the full range, which is what lets
+FlexVC dimension the reply sub-sequence for minimal routing only and still
+support opportunistic non-minimal reply paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .link_types import LinkType, MessageClass
+
+
+@dataclass(frozen=True)
+class VcArrangement:
+    """Number of virtual channels per link type and message class.
+
+    Parameters
+    ----------
+    request_local, request_global:
+        VCs available to request packets (and to replies, opportunistically).
+    reply_local, reply_global:
+        Additional VCs reserved for replies.  Zero for single-class traffic.
+    """
+
+    request_local: int
+    request_global: int
+    reply_local: int = 0
+    reply_global: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("request_local", "request_global", "reply_local", "reply_global"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.request_local == 0:
+            raise ValueError("at least one request local VC is required")
+
+    # -- totals ------------------------------------------------------------
+    @property
+    def total_local(self) -> int:
+        return self.request_local + self.reply_local
+
+    @property
+    def total_global(self) -> int:
+        return self.request_global + self.reply_global
+
+    def total(self, link_type: LinkType) -> int:
+        """Total VCs implemented on ports of ``link_type``."""
+        return self.total_local if link_type == LinkType.LOCAL else self.total_global
+
+    def request_count(self, link_type: LinkType) -> int:
+        return self.request_local if link_type == LinkType.LOCAL else self.request_global
+
+    def reply_count(self, link_type: LinkType) -> int:
+        return self.reply_local if link_type == LinkType.LOCAL else self.reply_global
+
+    # -- index ranges -------------------------------------------------------
+    def usable_range(self, link_type: LinkType, msg_class: MessageClass) -> range:
+        """VC indices a packet of ``msg_class`` may occupy on ``link_type`` ports.
+
+        Requests are confined to the request prefix ``[0, request_count)``;
+        replies may use the whole concatenated sequence ``[0, total)``.
+        """
+        if msg_class == MessageClass.REQUEST:
+            return range(self.request_count(link_type))
+        return range(self.total(link_type))
+
+    def class_ceiling(self, link_type: LinkType, msg_class: MessageClass) -> int:
+        """Highest VC count reachable by ``msg_class`` on ``link_type`` ports."""
+        if msg_class == MessageClass.REQUEST:
+            return self.request_count(link_type)
+        return self.total(link_type)
+
+    @property
+    def is_reactive(self) -> bool:
+        """True when a reply sub-sequence is provisioned (request-reply traffic)."""
+        return self.reply_local > 0 or self.reply_global > 0
+
+    # -- constructors / formatting ------------------------------------------
+    @classmethod
+    def single_class(cls, local: int, global_: int) -> "VcArrangement":
+        """Arrangement for traffic without protocol-deadlock requirements."""
+        return cls(request_local=local, request_global=global_)
+
+    @classmethod
+    def request_reply(
+        cls,
+        request: tuple[int, int],
+        reply: tuple[int, int],
+    ) -> "VcArrangement":
+        """Arrangement ``request + reply``, each given as ``(local, global)``."""
+        return cls(
+            request_local=request[0],
+            request_global=request[1],
+            reply_local=reply[0],
+            reply_global=reply[1],
+        )
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``4/2`` or ``6/4 (4/3+2/1)``."""
+        if not self.is_reactive:
+            return f"{self.request_local}/{self.request_global}"
+        return (
+            f"{self.total_local}/{self.total_global} "
+            f"({self.request_local}/{self.request_global}"
+            f"+{self.reply_local}/{self.reply_global})"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()

@@ -1,0 +1,94 @@
+"""Distance-based (fixed per-hop VC) baseline policy.
+
+This is the deadlock-avoidance mechanism the paper compares against
+(Guenther-style increasing VC order, Section II): every hop of the reference
+path is bound to exactly one virtual channel.  Minimal traffic therefore only
+ever touches the lowest-indexed VCs, Valiant traffic walks through the whole
+sequence, and a hop never has more than a single admissible buffer — which is
+precisely the source of head-of-line blocking that FlexVC removes.
+
+Slot assignment
+---------------
+Hops are aligned onto the canonical reference path of the packet's routing
+phase.  A routing phase is one minimal segment (the whole path for MIN, each
+of the two minimal segments of a Valiant path, the pre-diversion hop plus the
+two segments for PAR).  Each phase owns a contiguous window of reference
+slots, communicated by the routing algorithm through
+:attr:`HopContext.phase_offsets`:
+
+* a *global* hop uses the phase's single global slot;
+* a *local* hop uses the phase's first local slot while the phase's global
+  hop has not been traversed yet, and the second one afterwards;
+* in networks without link-type restrictions the slot is simply the hop's
+  position within the phase.
+
+Requests use the request sub-sequence of the arrangement; replies use the
+reply sub-sequence, offset past the request VCs (separate virtual networks,
+as in Cray Cascade).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .arrangement import VcArrangement
+from .link_types import LinkType, MessageClass
+from .vc_policy import HopContext, HopKind, VcPolicy, VcRange
+
+
+class DistanceBasedPolicy(VcPolicy):
+    """Classic distance-based deadlock avoidance with one fixed VC per hop."""
+
+    def __init__(self, arrangement: VcArrangement) -> None:
+        super().__init__(arrangement)
+
+    # -- slot computation -----------------------------------------------------
+    def slot_for(self, ctx: HopContext) -> int:
+        """Reference slot (within the packet's virtual network) for this hop."""
+        local_offset, global_offset = ctx.phase_offsets
+        if ctx.out_type == LinkType.GLOBAL:
+            return global_offset
+        # Local (or untyped) hop.
+        if any(h == LinkType.GLOBAL for h in ctx.intended_remaining) or ctx.phase_global_taken:
+            # Typed network: discriminate the before-/after-global local slot.
+            return local_offset + (1 if ctx.phase_global_taken else 0)
+        # Untyped network (no global hops anywhere): position within the phase.
+        return local_offset + ctx.phase_position
+
+    def _class_offset(self, link_type: LinkType, msg_class: MessageClass) -> int:
+        """Index of the first VC of the packet's virtual network."""
+        if msg_class == MessageClass.REPLY:
+            return self.arrangement.request_count(link_type)
+        return 0
+
+    def _subsequence_size(self, link_type: LinkType, msg_class: MessageClass) -> int:
+        if msg_class == MessageClass.REPLY and self.arrangement.is_reactive:
+            return self.arrangement.reply_count(link_type)
+        return self.arrangement.request_count(link_type)
+
+    # -- VcPolicy interface -----------------------------------------------------
+    def allowed_vcs(self, ctx: HopContext) -> Optional[VcRange]:
+        slot = self.slot_for(ctx)
+        size = self._subsequence_size(ctx.out_type, ctx.msg_class)
+        if slot >= size:
+            return None
+        vc = self._class_offset(ctx.out_type, ctx.msg_class) + slot
+        return VcRange(vc, vc)
+
+    def hop_kind(self, ctx: HopContext) -> HopKind:
+        # The baseline only admits hops whose entire remaining path fits the
+        # per-class sub-sequence; there is no opportunistic mode.
+        slot = self.slot_for(ctx)
+        size = self._subsequence_size(ctx.out_type, ctx.msg_class)
+        if slot >= size:
+            return HopKind.FORBIDDEN
+        for link_type in (LinkType.LOCAL, LinkType.GLOBAL):
+            needed = sum(1 for h in ctx.intended_remaining if h == link_type)
+            if needed > self._subsequence_size(link_type, ctx.msg_class):
+                return HopKind.FORBIDDEN
+        return HopKind.SAFE
+
+
+def distance_based(arrangement: VcArrangement) -> DistanceBasedPolicy:
+    """Convenience constructor mirroring :func:`repro.core.flexvc.flexvc`."""
+    return DistanceBasedPolicy(arrangement)

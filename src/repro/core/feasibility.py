@@ -1,0 +1,272 @@
+"""Analytical path-feasibility classification (Tables I-IV of the paper).
+
+Given a routing protocol (MIN/VAL/PAR), a VC arrangement and a network kind
+(generic diameter-2 or Dragonfly), this module classifies the protocol's
+reference path as *safe*, *opportunistic* or *unsupported* under FlexVC —
+reproducing Tables I, II, III and IV without running the simulator.
+
+The classification walks the canonical reference path hop by hop, applying
+the FlexVC rules (Definitions 1 and 2) with the escape path available at each
+position, greedily occupying the lowest admissible VC (which is optimal for
+feasibility since every constraint is monotone in the occupied index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Optional, Sequence
+
+from .arrangement import VcArrangement
+from .flexvc import FlexVcPolicy
+from .link_types import (
+    G,
+    HopSequence,
+    L,
+    LinkType,
+    MessageClass,
+    count_hops,
+    reference_path,
+)
+from .vc_policy import HopContext
+
+
+class PathSupport(Enum):
+    """Support level of a routing protocol for a given VC arrangement."""
+
+    SAFE = "safe"
+    OPPORTUNISTIC = "opport."
+    UNSUPPORTED = "X"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Worst-case escape path (minimal continuation from the *next* router) after
+#: each hop of the canonical reference paths.
+_ESCAPES: Dict[tuple[bool, str], tuple[HopSequence, ...]] = {
+    # Dragonfly (typed local/global links)
+    (True, "MIN"): ((G, L), (L,), ()),
+    (True, "VAL"): ((L, G, L), (L, G, L), (L, G, L), (G, L), (L,), ()),
+    (True, "PAR"): ((G, L), (L, G, L), (L, G, L), (L, G, L), (G, L), (L,), ()),
+    # Generic diameter-2 network (single link class)
+    (False, "MIN"): ((L,), ()),
+    (False, "VAL"): ((L, L), (L, L), (L,), ()),
+    (False, "PAR"): ((L,), (L, L), (L, L), (L,), ()),
+}
+
+
+def escape_sequences(routing: str, dragonfly: bool) -> tuple[HopSequence, ...]:
+    """Per-hop worst-case escape paths for a reference path."""
+    key = (dragonfly, routing.upper())
+    try:
+        return _ESCAPES[key]
+    except KeyError as exc:
+        raise ValueError(f"unknown routing {routing!r}") from exc
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a feasibility walk along a reference path."""
+
+    feasible: bool
+    #: VC index chosen (greedy lowest) at each hop, empty if infeasible.
+    chosen_vcs: tuple[int, ...]
+    #: index of the first infeasible hop (or -1).
+    failed_hop: int = -1
+
+
+def walk_reference_path(
+    policy: FlexVcPolicy,
+    routing: str,
+    dragonfly: bool,
+    msg_class: MessageClass = MessageClass.REQUEST,
+) -> WalkResult:
+    """Walk a reference path under FlexVC, greedily taking the lowest VC."""
+    ref = reference_path(routing, dragonfly)
+    escapes = escape_sequences(routing, dragonfly)
+    assert len(ref) == len(escapes)
+    input_type: Optional[LinkType] = None
+    input_vc = -1
+    chosen: list[int] = []
+    for i, (hop_type, escape) in enumerate(zip(ref, escapes)):
+        ctx = HopContext(
+            msg_class=msg_class,
+            out_type=hop_type,
+            intended_remaining=ref[i:],
+            escape_from_next=escape,
+            input_type=input_type,
+            input_vc=input_vc,
+        )
+        admissible = policy.allowed_vcs(ctx)
+        if admissible is None:
+            return WalkResult(False, tuple(chosen), failed_hop=i)
+        vc = admissible.lo
+        chosen.append(vc)
+        input_type = hop_type
+        input_vc = vc
+    return WalkResult(True, tuple(chosen))
+
+
+def _fits_own_subsequence(
+    arrangement: VcArrangement,
+    routing: str,
+    dragonfly: bool,
+    msg_class: MessageClass,
+) -> bool:
+    """Does the reference path fit the class's *own* VC sub-sequence?
+
+    This is the paper's notion of a *safe* path: requests within the request
+    VCs, replies within the reply VCs.  Replies that need to borrow request
+    VCs are "opportunistic" even though they are trivially deadlock-free.
+    """
+    ref = reference_path(routing, dragonfly)
+    for link_type in (LinkType.LOCAL, LinkType.GLOBAL):
+        needed = count_hops(ref, link_type)
+        if msg_class == MessageClass.REPLY and arrangement.is_reactive:
+            available = arrangement.reply_count(link_type)
+        else:
+            available = arrangement.request_count(link_type)
+        if needed > available:
+            return False
+    return True
+
+
+def classify(
+    arrangement: VcArrangement,
+    routing: str,
+    dragonfly: bool,
+    msg_class: MessageClass = MessageClass.REQUEST,
+) -> PathSupport:
+    """Classify one routing protocol / message class under FlexVC."""
+    policy = FlexVcPolicy(arrangement)
+    result = walk_reference_path(policy, routing, dragonfly, msg_class)
+    if not result.feasible:
+        return PathSupport.UNSUPPORTED
+    if _fits_own_subsequence(arrangement, routing, dragonfly, msg_class):
+        return PathSupport.SAFE
+    return PathSupport.OPPORTUNISTIC
+
+
+_ORDER = {
+    PathSupport.SAFE: 2,
+    PathSupport.OPPORTUNISTIC: 1,
+    PathSupport.UNSUPPORTED: 0,
+}
+
+
+def classify_request_reply(
+    arrangement: VcArrangement,
+    routing: str,
+    dragonfly: bool,
+) -> tuple[PathSupport, PathSupport]:
+    """(request, reply) classifications for a reactive arrangement."""
+    return (
+        classify(arrangement, routing, dragonfly, MessageClass.REQUEST),
+        classify(arrangement, routing, dragonfly, MessageClass.REPLY),
+    )
+
+
+def combined_support(request: PathSupport, reply: PathSupport) -> PathSupport:
+    """Overall support of a request-reply exchange (the weaker of the two)."""
+    return request if _ORDER[request] <= _ORDER[reply] else reply
+
+
+# ---------------------------------------------------------------------------
+# Table generators
+# ---------------------------------------------------------------------------
+
+ROUTINGS = ("MIN", "VAL", "PAR")
+
+
+def table1(vc_counts: Iterable[int] = (2, 3, 4, 5)) -> Dict[str, Dict[int, PathSupport]]:
+    """Table I: allowed paths in a generic diameter-2 network vs number of VCs."""
+    table: Dict[str, Dict[int, PathSupport]] = {}
+    for routing in ROUTINGS:
+        row: Dict[int, PathSupport] = {}
+        for vcs in vc_counts:
+            arrangement = VcArrangement.single_class(vcs, 0)
+            row[vcs] = classify(arrangement, routing, dragonfly=False)
+        table[routing] = row
+    return table
+
+
+DEFAULT_TABLE2_CONFIGS: tuple[tuple[int, int], ...] = ((2, 2), (3, 2), (3, 3), (4, 4), (5, 5))
+
+
+def table2(
+    configs: Sequence[tuple[int, int]] = DEFAULT_TABLE2_CONFIGS,
+) -> Dict[str, Dict[tuple[int, int], PathSupport]]:
+    """Table II: generic diameter-2 network with request+reply VCs.
+
+    ``configs`` are ``(request_vcs, reply_vcs)`` pairs, e.g. ``(3, 2)`` for the
+    3+2=5 configuration.
+    """
+    table: Dict[str, Dict[tuple[int, int], PathSupport]] = {}
+    for routing in ROUTINGS:
+        row: Dict[tuple[int, int], PathSupport] = {}
+        for req, rep in configs:
+            arrangement = VcArrangement.request_reply((req, 0), (rep, 0))
+            request, reply = classify_request_reply(arrangement, routing, dragonfly=False)
+            row[(req, rep)] = combined_support(request, reply)
+        table[routing] = row
+    return table
+
+
+DEFAULT_TABLE3_CONFIGS: tuple[tuple[int, int], ...] = ((2, 1), (3, 1), (2, 2), (3, 2), (4, 2), (5, 2))
+
+
+def table3(
+    configs: Sequence[tuple[int, int]] = DEFAULT_TABLE3_CONFIGS,
+) -> Dict[str, Dict[tuple[int, int], PathSupport]]:
+    """Table III: Dragonfly, single-class traffic, (local, global) VC counts."""
+    table: Dict[str, Dict[tuple[int, int], PathSupport]] = {}
+    for routing in ROUTINGS:
+        row: Dict[tuple[int, int], PathSupport] = {}
+        for local, global_ in configs:
+            arrangement = VcArrangement.single_class(local, global_)
+            row[(local, global_)] = classify(arrangement, routing, dragonfly=True)
+        table[routing] = row
+    return table
+
+
+#: Table IV columns: ((request local/global), (reply local/global)).
+DEFAULT_TABLE4_CONFIGS: tuple[tuple[tuple[int, int], tuple[int, int]], ...] = (
+    ((2, 1), (2, 1)),
+    ((3, 2), (2, 1)),
+    ((4, 2), (4, 2)),
+    ((5, 2), (5, 2)),
+)
+
+
+def table4(
+    configs: Sequence[tuple[tuple[int, int], tuple[int, int]]] = DEFAULT_TABLE4_CONFIGS,
+) -> Dict[str, Dict[tuple[tuple[int, int], tuple[int, int]], tuple[PathSupport, PathSupport]]]:
+    """Table IV: Dragonfly with request+reply traffic.
+
+    Each cell holds the ``(request, reply)`` classification pair, matching the
+    paper's "X / opport." notation for the 4/2 column.
+    """
+    table: Dict[str, Dict] = {}
+    for routing in ROUTINGS:
+        row: Dict = {}
+        for req, rep in configs:
+            arrangement = VcArrangement.request_reply(req, rep)
+            row[(req, rep)] = classify_request_reply(arrangement, routing, dragonfly=True)
+        table[routing] = row
+    return table
+
+
+def render_table(table: Dict, title: str) -> str:
+    """Plain-text rendering of any of the table generators' outputs."""
+    lines = [title]
+    for routing, row in table.items():
+        cells = []
+        for key, value in row.items():
+            if isinstance(value, tuple):
+                rendered = " / ".join(str(v) for v in value)
+            else:
+                rendered = str(value)
+            cells.append(f"{key}: {rendered}")
+        lines.append(f"  {routing:4s} | " + " | ".join(cells))
+    return "\n".join(lines)

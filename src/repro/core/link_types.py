@@ -1,0 +1,129 @@
+"""Link types, hop sequences and reference paths.
+
+Low-diameter networks classify their links into disjoint sets that are
+traversed in a fixed order (Section II of the paper): local/global links in a
+Dragonfly, per-dimension links in a Flattened Butterfly, a single class in
+generic diameter-2 networks such as Slim Flies.  Deadlock avoidance assigns
+virtual-channel indices *per link type*, so most of the FlexVC machinery
+reasons about *hop-type sequences*: tuples of :class:`LinkType` describing the
+remaining hops of a path.
+
+This module provides the :class:`LinkType` enumeration, helpers to count hop
+types, and the canonical *reference paths* used by the paper for the
+Dragonfly and for generic diameter-2 networks (Tables I-IV).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable, Sequence
+
+
+class LinkType(IntEnum):
+    """Classification of a network link / hop.
+
+    ``LOCAL`` and ``GLOBAL`` follow the Dragonfly terminology.  Topologies
+    without link-type restrictions (generic diameter-2 networks) declare all
+    their links as ``LOCAL``; topologies with two traversal stages (e.g. the
+    two dimensions of a 2D Flattened Butterfly under DOR) map the first stage
+    to ``LOCAL`` and the second to ``GLOBAL``.
+    """
+
+    LOCAL = 0
+    GLOBAL = 1
+
+
+class MessageClass(IntEnum):
+    """Message class for protocol-deadlock avoidance (Section III-B)."""
+
+    REQUEST = 0
+    REPLY = 1
+
+
+#: Convenient aliases used when writing hop sequences by hand.
+L = LinkType.LOCAL
+G = LinkType.GLOBAL
+
+HopSequence = tuple[LinkType, ...]
+
+
+def count_hops(seq: Iterable[LinkType], link_type: LinkType) -> int:
+    """Number of hops of ``link_type`` in ``seq``."""
+    return sum(1 for h in seq if h == link_type)
+
+
+def hop_counts(seq: Iterable[LinkType]) -> tuple[int, int]:
+    """Return ``(local_hops, global_hops)`` of a hop sequence."""
+    n_local = 0
+    n_global = 0
+    for h in seq:
+        if h == LinkType.LOCAL:
+            n_local += 1
+        else:
+            n_global += 1
+    return n_local, n_global
+
+
+def sequence_str(seq: Sequence[LinkType]) -> str:
+    """Human readable rendering, e.g. ``l-g-l`` for a Dragonfly MIN path."""
+    if not seq:
+        return "(empty)"
+    return "-".join("l" if h == LinkType.LOCAL else "g" for h in seq)
+
+
+# ---------------------------------------------------------------------------
+# Canonical reference paths (Section II, "Routing or link-type restrictions")
+# ---------------------------------------------------------------------------
+
+#: Dragonfly minimal reference path: l0 - g1 - l2 (2 local VCs / 1 global VC).
+DRAGONFLY_MIN: HopSequence = (L, G, L)
+
+#: Dragonfly Valiant ("Valiant-node") reference path: l0-g1-l2-l3-g4-l5 (4/2).
+DRAGONFLY_VAL: HopSequence = (L, G, L, L, G, L)
+
+#: Dragonfly Progressive Adaptive Routing reference path (5/2):
+#: l0-l1-g2-l3-l4-g5-l6 (an additional local hop before the possible
+#: in-transit diversion).
+DRAGONFLY_PAR: HopSequence = (L, L, G, L, L, G, L)
+
+#: Generic diameter-2 network (Slim Fly, adaptive Flattened Butterfly)
+#: minimal reference path: 2 hops of a single link class.
+DIAMETER2_MIN: HopSequence = (L, L)
+
+#: Generic diameter-2 Valiant reference path: 4 hops.
+DIAMETER2_VAL: HopSequence = (L, L, L, L)
+
+#: Generic diameter-2 PAR reference path: one extra hop before diverting.
+DIAMETER2_PAR: HopSequence = (L, L, L, L, L)
+
+
+def reference_path(routing: str, dragonfly: bool) -> HopSequence:
+    """Return the canonical reference path for ``routing``.
+
+    Parameters
+    ----------
+    routing:
+        One of ``"MIN"``, ``"VAL"`` or ``"PAR"`` (case-insensitive).
+    dragonfly:
+        ``True`` for the Dragonfly (typed local/global links), ``False`` for a
+        generic diameter-2 network with a single link class.
+    """
+    key = routing.upper()
+    if dragonfly:
+        table = {"MIN": DRAGONFLY_MIN, "VAL": DRAGONFLY_VAL, "PAR": DRAGONFLY_PAR}
+    else:
+        table = {"MIN": DIAMETER2_MIN, "VAL": DIAMETER2_VAL, "PAR": DIAMETER2_PAR}
+    try:
+        return table[key]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"unknown routing {routing!r}; expected MIN, VAL or PAR") from exc
+
+
+def reference_vc_requirements(routing: str, dragonfly: bool) -> tuple[int, int]:
+    """VCs (local, global) required by distance-based deadlock avoidance.
+
+    These are the per-virtual-network requirements quoted in Section II:
+    2/1 for Dragonfly MIN, 4/2 for VAL, 5/2 for PAR; 2, 4 and 5 single-class
+    VCs for generic diameter-2 networks.
+    """
+    return hop_counts(reference_path(routing, dragonfly))

@@ -1,0 +1,89 @@
+"""Split credit accounting for FlexVC-minCred (Section III-D).
+
+FlexVC lets minimally- and non-minimally-routed packets share the same
+buffers, which blurs the congestion signal that source-adaptive routing (e.g.
+Piggyback) relies on.  FlexVC-minCred restores it by accounting the credits
+of minimally-routed and non-minimally-routed packets separately: every credit
+taken or returned is tagged with the routing class of its packet, and the
+saturation/misrouting decisions then look only at the *minimal* share of the
+occupancy.
+
+:class:`SplitOccupancy` is the per-VC (or per-port) counter pair used by
+:class:`repro.router.credits.CreditTracker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SplitOccupancy:
+    """Phit occupancy split by routing class (minimal vs non-minimal)."""
+
+    minimal: int = 0
+    nonminimal: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.minimal + self.nonminimal
+
+    def add(self, phits: int, minimal: bool) -> None:
+        if phits < 0:
+            raise ValueError("phits must be non-negative")
+        if minimal:
+            self.minimal += phits
+        else:
+            self.nonminimal += phits
+
+    def remove(self, phits: int, minimal: bool) -> None:
+        if phits < 0:
+            raise ValueError("phits must be non-negative")
+        if minimal:
+            if phits > self.minimal:
+                raise ValueError(
+                    f"removing {phits} minimal phits but only {self.minimal} accounted"
+                )
+            self.minimal -= phits
+        else:
+            if phits > self.nonminimal:
+                raise ValueError(
+                    f"removing {phits} non-minimal phits but only {self.nonminimal} accounted"
+                )
+            self.nonminimal -= phits
+
+    def occupancy(self, minimal_only: bool) -> int:
+        """Occupancy metric: MIN credits only (minCred) or all credits."""
+        return self.minimal if minimal_only else self.total
+
+
+@dataclass
+class PortOccupancyLedger:
+    """Per-VC split occupancy plus the port-level aggregate.
+
+    This is the data structure behind the four congestion-sensing variants of
+    Figure 8: {per-port, per-VC} x {all credits, MIN credits only}.
+    """
+
+    num_vcs: int
+    per_vc: list[SplitOccupancy] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_vcs < 1:
+            raise ValueError("num_vcs must be >= 1")
+        if not self.per_vc:
+            self.per_vc = [SplitOccupancy() for _ in range(self.num_vcs)]
+        elif len(self.per_vc) != self.num_vcs:
+            raise ValueError("per_vc length must equal num_vcs")
+
+    def add(self, vc: int, phits: int, minimal: bool) -> None:
+        self.per_vc[vc].add(phits, minimal)
+
+    def remove(self, vc: int, phits: int, minimal: bool) -> None:
+        self.per_vc[vc].remove(phits, minimal)
+
+    def port_occupancy(self, minimal_only: bool = False) -> int:
+        return sum(vc.occupancy(minimal_only) for vc in self.per_vc)
+
+    def vc_occupancy(self, vc: int, minimal_only: bool = False) -> int:
+        return self.per_vc[vc].occupancy(minimal_only)

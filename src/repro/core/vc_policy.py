@@ -1,0 +1,156 @@
+"""Virtual-channel policy interface.
+
+A *VC policy* decides which virtual channels a packet may enter on its next
+hop.  The distance-based baseline (Section II) admits exactly one VC per hop;
+FlexVC (Section III) admits a whole range, bounded above by the escape-path
+requirement.  Both are expressed through the same :class:`VcPolicy` interface
+so routers, allocators and experiments are agnostic of the mechanism under
+study.
+
+The router supplies a :class:`HopContext` describing the hop about to be
+taken; the policy answers with the inclusive range of admissible VC indices
+(or ``None`` when the hop is not permitted at all, which a correctly
+configured routing algorithm never requests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .arrangement import VcArrangement
+from .link_types import HopSequence, LinkType, MessageClass, count_hops
+
+
+class HopKind(Enum):
+    """Classification of a hop under FlexVC (Definitions 1 and 2)."""
+
+    SAFE = "safe"
+    OPPORTUNISTIC = "opportunistic"
+    FORBIDDEN = "forbidden"
+
+
+@dataclass(frozen=True)
+class VcRange:
+    """Inclusive range ``[lo, hi]`` of admissible VC indices for a hop."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise ValueError(f"invalid VC range [{self.lo}, {self.hi}]")
+
+    def __contains__(self, vc: int) -> bool:
+        return self.lo <= vc <= self.hi
+
+    def __iter__(self):
+        return iter(range(self.lo, self.hi + 1))
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass(frozen=True)
+class HopContext:
+    """Everything a VC policy needs to know about the hop being evaluated.
+
+    Attributes
+    ----------
+    msg_class:
+        Request or reply.
+    out_type:
+        Link type of the output port about to be used.
+    intended_remaining:
+        Hop-type sequence of the packet's intended route from this hop
+        (inclusive) to the destination router.
+    escape_from_next:
+        Hop-type sequence of the *minimal* path from the next router to the
+        destination router — the safe escape of Definition 2.
+    input_type:
+        Link type of the input port currently holding the packet, or ``None``
+        for packets still in an injection buffer.
+    input_vc:
+        VC index currently occupied (``-1`` at injection).
+    phase_offsets:
+        ``(local, global)`` reference-slot offsets of the packet's current
+        routing phase — used only by the distance-based baseline to align
+        hops onto the canonical reference path (e.g. the second minimal
+        segment of a Valiant path starts at offsets ``(2, 1)``).
+    phase_position:
+        Hops already taken within the current phase.
+    phase_global_taken:
+        True when the current phase's global hop has already been traversed
+        (used to discriminate the l0/l2-style local slots of a phase).
+    """
+
+    msg_class: MessageClass
+    out_type: LinkType
+    intended_remaining: HopSequence
+    escape_from_next: HopSequence
+    input_type: Optional[LinkType] = None
+    input_vc: int = -1
+    phase_offsets: tuple[int, int] = (0, 0)
+    phase_position: int = 0
+    phase_global_taken: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.intended_remaining:
+            raise ValueError("intended_remaining must contain at least the current hop")
+        if self.intended_remaining[0] != self.out_type:
+            raise ValueError(
+                "first hop of intended_remaining must match out_type "
+                f"({self.intended_remaining[0]!r} != {self.out_type!r})"
+            )
+
+
+class VcPolicy(ABC):
+    """Common interface of the distance-based baseline and FlexVC."""
+
+    def __init__(self, arrangement: VcArrangement) -> None:
+        self.arrangement = arrangement
+
+    # -- main entry points ---------------------------------------------------
+    @abstractmethod
+    def allowed_vcs(self, ctx: HopContext) -> Optional[VcRange]:
+        """Admissible output VC indices for the hop, or ``None`` if forbidden."""
+
+    @abstractmethod
+    def hop_kind(self, ctx: HopContext) -> HopKind:
+        """Classify the hop as safe, opportunistic or forbidden."""
+
+    # -- shared helpers -------------------------------------------------------
+    def class_ceiling(self, link_type: LinkType, msg_class: MessageClass) -> int:
+        return self.arrangement.class_ceiling(link_type, msg_class)
+
+    def remaining_fits(
+        self,
+        remaining: HopSequence,
+        msg_class: MessageClass,
+        input_type: Optional[LinkType],
+        input_vc: int,
+    ) -> bool:
+        """Does ``remaining`` admit a strictly-increasing per-type assignment?
+
+        The check counts hops per link type and compares against the class
+        ceiling, additionally reserving the indices at or below ``input_vc``
+        for the type of the buffer currently holding the packet (Definition 1:
+        the safe path must ascend *from the current channel*).
+        """
+        for link_type in (LinkType.LOCAL, LinkType.GLOBAL):
+            needed = count_hops(remaining, link_type)
+            ceiling = self.class_ceiling(link_type, msg_class)
+            if input_type == link_type and input_vc >= 0:
+                ceiling -= input_vc + 1
+            if needed > ceiling:
+                return False
+        return True
+
+    def escape_fits(self, escape: HopSequence, msg_class: MessageClass) -> bool:
+        """Does the escape path fit at all within the class ceilings?"""
+        for link_type in (LinkType.LOCAL, LinkType.GLOBAL):
+            if count_hops(escape, link_type) > self.class_ceiling(link_type, msg_class):
+                return False
+        return True

@@ -1,0 +1,85 @@
+"""Cycle-driven simulation engine.
+
+The engine owns simulated time.  Components schedule callbacks on an event
+wheel (packet arrivals, credit returns, output-buffer releases, delivery
+notifications); each cycle the engine first fires the events due at that
+cycle, then lets the traffic sources generate new packets and finally steps
+every active router.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional
+
+Event = Callable[[int], None]
+
+
+class Engine:
+    """Event wheel plus the top-level cycle loop."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._wheel: Dict[int, List[Event]] = defaultdict(list)
+        self._steppers: List[object] = []
+        self._generators: List[object] = []
+        self.events_processed = 0
+
+    # -- registration -----------------------------------------------------------
+    def register_router(self, router: object) -> None:
+        """Register an object exposing ``step(now)`` and ``has_work()``."""
+        self._steppers.append(router)
+
+    def register_traffic(self, generator: object) -> None:
+        """Register an object exposing ``tick(now)`` called once per cycle."""
+        self._generators.append(generator)
+
+    # -- event scheduling ----------------------------------------------------------
+    def schedule(self, cycle: int, event: Event) -> None:
+        """Run ``event(cycle)`` at the given absolute cycle (must not be in the past)."""
+        if cycle < self.now:
+            raise ValueError(f"cannot schedule event at {cycle}, current cycle is {self.now}")
+        self._wheel[cycle].append(event)
+
+    def schedule_in(self, delay: int, event: Event) -> None:
+        self.schedule(self.now + delay, event)
+
+    # -- execution ---------------------------------------------------------------------
+    def _fire_events(self, cycle: int) -> None:
+        events = self._wheel.pop(cycle, None)
+        if not events:
+            return
+        for event in events:
+            event(cycle)
+            self.events_processed += 1
+
+    def tick(self) -> None:
+        """Advance the simulation by one cycle."""
+        cycle = self.now
+        self._fire_events(cycle)
+        for generator in self._generators:
+            generator.tick(cycle)
+        for router in self._steppers:
+            if router.has_work():
+                router.step(cycle)
+        self.now = cycle + 1
+
+    def run(self, cycles: int, callback: Optional[Callable[[int], None]] = None) -> None:
+        """Run ``cycles`` additional cycles, optionally invoking ``callback`` each cycle."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.tick()
+            if callback is not None:
+                callback(self.now)
+
+    def run_until(self, cycle: int) -> None:
+        while self.now < cycle:
+            self.tick()
+
+    # -- introspection --------------------------------------------------------------------
+    def pending_events(self) -> int:
+        return sum(len(events) for events in self._wheel.values())
+
+    def routers(self) -> Iterable[object]:
+        return tuple(self._steppers)

@@ -1,0 +1,380 @@
+"""Per-figure experiment generators (Figures 5-11 of the paper).
+
+Every function regenerates the data behind one figure of the evaluation
+section and returns it as plain Python structures (lists of
+:class:`~repro.experiments.runner.Series` or nested dictionaries) that the
+benchmark harness prints and EXPERIMENTS.md records.  Absolute values differ
+from the paper because the substrate is a scaled pure-Python simulator (see
+DESIGN.md), but the comparative shapes — who wins, by roughly what factor,
+where crossovers appear — are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.arrangement import VcArrangement
+from .runner import (
+    ExperimentScale,
+    Series,
+    base_config,
+    get_scale,
+    load_sweep,
+    run_point,
+)
+
+# ---------------------------------------------------------------------------
+# Shared series definitions
+# ---------------------------------------------------------------------------
+
+def _oblivious_algorithm(pattern: str) -> str:
+    """MIN for uniform patterns, Valiant for adversarial traffic (Section V-A)."""
+    return "val" if pattern == "adversarial" else "min"
+
+
+def oblivious_series(
+    scale: ExperimentScale,
+    pattern: str,
+    *,
+    speedup: int = 2,
+    local_port_phits: Optional[int] = None,
+    global_port_phits: Optional[int] = None,
+) -> List[Series]:
+    """The five comparison points of Figures 5, 6 and 11."""
+    algorithm = _oblivious_algorithm(pattern)
+    if algorithm == "min":
+        min_arrangement = VcArrangement.single_class(2, 1)
+        flexvc_arrangements = [
+            ("FlexVC 2/1VCs", VcArrangement.single_class(2, 1)),
+            ("FlexVC 4/2VCs", VcArrangement.single_class(4, 2)),
+            ("FlexVC 8/4VCs", VcArrangement.single_class(8, 4)),
+        ]
+    else:  # Valiant under ADV needs at least 4/2 for the baseline.
+        min_arrangement = VcArrangement.single_class(4, 2)
+        flexvc_arrangements = [
+            ("FlexVC 4/2VCs", VcArrangement.single_class(4, 2)),
+            ("FlexVC 8/4VCs", VcArrangement.single_class(8, 4)),
+        ]
+
+    common = dict(
+        pattern=pattern,
+        algorithm=algorithm,
+        speedup=speedup,
+        local_port_phits=local_port_phits,
+        global_port_phits=global_port_phits,
+    )
+
+    series = [
+        Series(
+            "Baseline",
+            lambda load, a=min_arrangement: base_config(
+                scale, vc_policy="baseline", arrangement=a, **common
+            ),
+        ),
+        Series(
+            "DAMQ 75%",
+            lambda load, a=min_arrangement: base_config(
+                scale, vc_policy="baseline", arrangement=a,
+                buffer_organization="damq", **common
+            ),
+        ),
+    ]
+    for label, arrangement in flexvc_arrangements:
+        series.append(
+            Series(
+                label,
+                lambda load, a=arrangement: base_config(
+                    scale, vc_policy="flexvc", arrangement=a, **common
+                ),
+            )
+        )
+    return series
+
+
+def request_reply_series(scale: ExperimentScale, pattern: str) -> List[Series]:
+    """The request-reply comparison points of Figure 7."""
+    algorithm = _oblivious_algorithm(pattern)
+    if algorithm == "min":
+        baseline_arr = VcArrangement.request_reply((2, 1), (2, 1))
+        flexvc_arrangements = [
+            ("FlexVC 4/2VCs(2/1+2/1)", VcArrangement.request_reply((2, 1), (2, 1))),
+            ("FlexVC 5/3VCs(2/1+3/2)", VcArrangement.request_reply((2, 1), (3, 2))),
+            ("FlexVC 5/3VCs(3/2+2/1)", VcArrangement.request_reply((3, 2), (2, 1))),
+            ("FlexVC 6/4VCs(2/1+4/3)", VcArrangement.request_reply((2, 1), (4, 3))),
+            ("FlexVC 6/4VCs(3/2+3/2)", VcArrangement.request_reply((3, 2), (3, 2))),
+            ("FlexVC 6/4VCs(4/3+2/1)", VcArrangement.request_reply((4, 3), (2, 1))),
+        ]
+    else:
+        baseline_arr = VcArrangement.request_reply((4, 2), (4, 2))
+        flexvc_arrangements = [
+            ("FlexVC 8/4VCs(4/2+4/2)", VcArrangement.request_reply((4, 2), (4, 2))),
+            ("FlexVC 10/6VCs(5/3+5/3)", VcArrangement.request_reply((5, 3), (5, 3))),
+            ("FlexVC 10/6VCs(6/4+4/2)", VcArrangement.request_reply((6, 4), (4, 2))),
+        ]
+    common = dict(pattern=pattern, algorithm=algorithm, reactive=True)
+    series = [
+        Series(
+            "Baseline",
+            lambda load, a=baseline_arr: base_config(
+                scale, vc_policy="baseline", arrangement=a, **common
+            ),
+        ),
+        Series(
+            "DAMQ",
+            lambda load, a=baseline_arr: base_config(
+                scale, vc_policy="baseline", arrangement=a,
+                buffer_organization="damq", **common
+            ),
+        ),
+    ]
+    for label, arrangement in flexvc_arrangements:
+        series.append(
+            Series(
+                label,
+                lambda load, a=arrangement: base_config(
+                    scale, vc_policy="flexvc", arrangement=a, **common
+                ),
+            )
+        )
+    return series
+
+
+def adaptive_series(scale: ExperimentScale, pattern: str) -> List[Series]:
+    """The Piggyback comparison points of Figure 8 (request-reply traffic)."""
+    reference_algorithm = _oblivious_algorithm(pattern)
+    reference_arr = (
+        VcArrangement.request_reply((2, 1), (2, 1))
+        if reference_algorithm == "min"
+        else VcArrangement.request_reply((4, 2), (4, 2))
+    )
+    pb_baseline_arr = VcArrangement.request_reply((4, 2), (4, 2))
+    pb_flexvc_arr = VcArrangement.request_reply((4, 2), (2, 1))
+
+    series = [
+        Series(
+            "MIN/VAL" if reference_algorithm == "val" else "MIN",
+            lambda load: base_config(
+                scale, pattern=pattern, algorithm=reference_algorithm,
+                vc_policy="baseline", arrangement=reference_arr, reactive=True,
+            ),
+        ),
+    ]
+    for sensing in ("vc", "port"):
+        series.append(
+            Series(
+                f"PB - per {sensing.upper()}",
+                lambda load, s=sensing: base_config(
+                    scale, pattern=pattern, algorithm="pb", vc_policy="baseline",
+                    arrangement=pb_baseline_arr, reactive=True, pb_sensing=s,
+                ),
+            )
+        )
+    for sensing in ("vc", "port"):
+        series.append(
+            Series(
+                f"PB FlexVC - per {sensing.upper()}",
+                lambda load, s=sensing: base_config(
+                    scale, pattern=pattern, algorithm="pb", vc_policy="flexvc",
+                    arrangement=pb_flexvc_arr, reactive=True, pb_sensing=s,
+                ),
+            )
+        )
+    for sensing in ("vc", "port"):
+        series.append(
+            Series(
+                f"PB FlexVC - per {sensing.upper()} minCred",
+                lambda load, s=sensing: base_config(
+                    scale, pattern=pattern, algorithm="pb", vc_policy="flexvc",
+                    arrangement=pb_flexvc_arr, reactive=True, pb_sensing=s,
+                    pb_min_credits_only=True,
+                ),
+            )
+        )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+DEFAULT_PATTERNS = ("uniform", "bursty", "adversarial")
+
+
+def figure5(
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    loads: Optional[Iterable[float]] = None,
+    seeds: Optional[int] = None,
+) -> Dict[str, List[Series]]:
+    """Figure 5: latency/throughput vs offered load under oblivious routing."""
+    scale = get_scale(scale)
+    seeds = seeds if seeds is not None else scale.seeds
+    loads = list(loads) if loads is not None else list(scale.loads)
+    return {
+        pattern: load_sweep(oblivious_series(scale, pattern), loads, seeds)
+        for pattern in patterns
+    }
+
+
+def figure6(
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    capacities: Optional[Sequence[tuple[int, int]]] = None,
+    seeds: Optional[int] = None,
+    speedup: int = 2,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 6 (and 11 with ``speedup=1``): max throughput vs buffer capacity.
+
+    Returns ``{pattern: {capacity_label: {series_label: accepted_load}}}``.
+    """
+    scale = get_scale(scale)
+    seeds = seeds if seeds is not None else scale.seeds
+    capacities = list(capacities) if capacities is not None else list(scale.buffer_capacities)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for pattern in patterns:
+        per_capacity: Dict[str, Dict[str, float]] = {}
+        # The paper omits the smallest capacity for ADV (4/2 VCs do not fit
+        # usefully in 64/256 phits); keep all capacities but note that the
+        # smallest point is the most distorted one.
+        for local_cap, global_cap in capacities:
+            label = f"{local_cap}/{global_cap}"
+            series = oblivious_series(
+                scale, pattern, speedup=speedup,
+                local_port_phits=local_cap, global_port_phits=global_cap,
+            )
+            values: Dict[str, float] = {}
+            for entry in series:
+                result = run_point(entry.builder(1.0).with_load(1.0), seeds)
+                values[entry.label] = result.accepted_load
+            per_capacity[label] = values
+        results[pattern] = per_capacity
+    return results
+
+
+def figure7(
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    loads: Optional[Iterable[float]] = None,
+    seeds: Optional[int] = None,
+) -> Dict[str, List[Series]]:
+    """Figure 7: request-reply traffic with oblivious routing."""
+    scale = get_scale(scale)
+    seeds = seeds if seeds is not None else scale.seeds
+    loads = list(loads) if loads is not None else list(scale.loads)
+    return {
+        pattern: load_sweep(request_reply_series(scale, pattern), loads, seeds)
+        for pattern in patterns
+    }
+
+
+def figure8(
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    loads: Optional[Iterable[float]] = None,
+    seeds: Optional[int] = None,
+) -> Dict[str, List[Series]]:
+    """Figure 8: Piggyback source-adaptive routing, sensing variants, minCred."""
+    scale = get_scale(scale)
+    seeds = seeds if seeds is not None else scale.seeds
+    loads = list(loads) if loads is not None else list(scale.loads)
+    return {
+        pattern: load_sweep(adaptive_series(scale, pattern), loads, seeds)
+        for pattern in patterns
+    }
+
+
+FIG9_ARRANGEMENTS: tuple[tuple[str, tuple[tuple[int, int], tuple[int, int]]], ...] = (
+    ("4/2 (2/1+2/1)", ((2, 1), (2, 1))),
+    ("5/3 (2/1+3/2)", ((2, 1), (3, 2))),
+    ("5/3 (3/2+2/1)", ((3, 2), (2, 1))),
+    ("6/4 (2/1+4/3)", ((2, 1), (4, 3))),
+    ("6/4 (3/2+3/2)", ((3, 2), (3, 2))),
+    ("6/4 (4/3+2/1)", ((4, 3), (2, 1))),
+)
+
+FIG9_SELECTIONS = ("jsq", "highest", "lowest", "random")
+
+
+def figure9(
+    scale: str | ExperimentScale = "tiny",
+    seeds: Optional[int] = None,
+    arrangements=FIG9_ARRANGEMENTS,
+    selections: Sequence[str] = FIG9_SELECTIONS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 9: throughput at 100% load vs VC selection function and VC count.
+
+    Returns ``{arrangement_label: {"Baseline": x, "DAMQ": x, "FlexVC <sel>": x}}``.
+    """
+    scale = get_scale(scale)
+    seeds = seeds if seeds is not None else scale.seeds
+    results: Dict[str, Dict[str, float]] = {}
+    baseline_arr = VcArrangement.request_reply((2, 1), (2, 1))
+    baseline = run_point(
+        base_config(scale, pattern="uniform", algorithm="min", reactive=True,
+                    vc_policy="baseline", arrangement=baseline_arr).with_load(1.0),
+        seeds,
+    ).accepted_load
+    damq = run_point(
+        base_config(scale, pattern="uniform", algorithm="min", reactive=True,
+                    vc_policy="baseline", arrangement=baseline_arr,
+                    buffer_organization="damq").with_load(1.0),
+        seeds,
+    ).accepted_load
+    for label, (request, reply) in arrangements:
+        arrangement = VcArrangement.request_reply(request, reply)
+        row: Dict[str, float] = {"Baseline": baseline, "DAMQ": damq}
+        for selection in selections:
+            result = run_point(
+                base_config(
+                    scale, pattern="uniform", algorithm="min", reactive=True,
+                    vc_policy="flexvc", arrangement=arrangement,
+                    vc_selection=selection,
+                ).with_load(1.0),
+                seeds,
+            )
+            row[f"FlexVC {selection}"] = result.accepted_load
+        results[label] = row
+    return results
+
+
+DEFAULT_FIG10_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def figure10(
+    scale: str | ExperimentScale = "tiny",
+    fractions: Sequence[float] = DEFAULT_FIG10_FRACTIONS,
+    loads: Optional[Iterable[float]] = None,
+    seeds: Optional[int] = None,
+) -> List[Series]:
+    """Figure 10: DAMQ throughput vs per-VC private reservation (UN, MIN).
+
+    The 0% point is the configuration the paper reports as deadlocking; the
+    returned results carry ``deadlock_suspected`` so callers can verify it.
+    """
+    scale = get_scale(scale)
+    seeds = seeds if seeds is not None else scale.seeds
+    loads = list(loads) if loads is not None else list(scale.loads)
+    arrangement = VcArrangement.single_class(2, 1)
+    series = [
+        Series(
+            f"reserved {int(fraction * 100)}%",
+            lambda load, f=fraction: base_config(
+                scale, pattern="uniform", algorithm="min", vc_policy="baseline",
+                arrangement=arrangement, buffer_organization="damq",
+                damq_private_fraction=f,
+                local_port_phits=128, global_port_phits=512,
+            ),
+        )
+        for fraction in fractions
+    ]
+    return load_sweep(series, loads, seeds)
+
+
+def figure11(
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    capacities: Optional[Sequence[tuple[int, int]]] = None,
+    seeds: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Figure 11: maximum throughput without router speedup (speedup = 1)."""
+    return figure6(scale, patterns, capacities, seeds, speedup=1)

@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results (the rows the paper's figures plot)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .runner import Series
+
+
+def render_series_table(title: str, series: Sequence[Series]) -> str:
+    """Render a load sweep as a text table: one row per series, one column per load."""
+    lines = [title]
+    if not series:
+        return title
+    loads = series[0].loads()
+    header = "  {:<38s}".format("series") + "".join(f"  load={load:<5.2f}" for load in loads)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for entry in series:
+        accepted = "".join(f"  {value:<10.3f}" for value in entry.accepted())
+        lines.append(f"  {entry.label:<38s}{accepted}")
+    lines.append("")
+    lines.append("  average packet latency (cycles)")
+    for entry in series:
+        latency = "".join(f"  {value:<10.1f}" for value in entry.latencies())
+        lines.append(f"  {entry.label:<38s}{latency}")
+    return "\n".join(lines)
+
+
+def render_bar_table(title: str, rows: Dict[str, Dict[str, float]],
+                     value_format: str = "{:.3f}") -> str:
+    """Render a dict-of-dicts (row label -> column label -> value) as text."""
+    lines = [title]
+    columns: List[str] = []
+    for row in rows.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    header = "  {:<38s}".format("") + "".join(f"  {c:<12s}" for c in columns)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for label, row in rows.items():
+        cells = "".join(
+            f"  {value_format.format(row[c]):<12s}" if c in row else f"  {'-':<12s}"
+            for c in columns
+        )
+        lines.append(f"  {label:<38s}{cells}")
+    return "\n".join(lines)
+
+
+def improvement_over(baseline: float, value: float) -> float:
+    """Relative improvement of ``value`` over ``baseline`` (1.0 = equal)."""
+    if baseline <= 0:
+        return float("nan")
+    return value / baseline
+
+
+def summarize_improvements(series: Sequence[Series], baseline_label: str) -> Dict[str, float]:
+    """Peak-throughput improvement of every series relative to ``baseline_label``."""
+    peaks = {entry.label: max(entry.accepted(), default=0.0) for entry in series}
+    if baseline_label not in peaks:
+        raise ValueError(f"baseline series {baseline_label!r} not present")
+    baseline = peaks[baseline_label]
+    return {label: improvement_over(baseline, value) for label, value in peaks.items()}
+
+
+def render_improvements(title: str, improvements: Dict[str, float]) -> str:
+    lines = [title]
+    for label, value in improvements.items():
+        lines.append(f"  {label:<38s}  x{value:.3f}")
+    return "\n".join(lines)
+
+
+def flatten_results(series: Iterable[Series]) -> List[dict]:
+    """Flatten series into one dict per (series, load) point — handy for CSV dumps."""
+    rows: List[dict] = []
+    for entry in series:
+        for result in entry.results:
+            rows.append(
+                {
+                    "series": entry.label,
+                    "offered_load": result.offered_load,
+                    "accepted_load": result.accepted_load,
+                    "average_latency": result.average_latency,
+                    "latency_p99": result.latency_p99,
+                    "misrouted_fraction": result.misrouted_fraction,
+                    "deadlock_suspected": result.deadlock_suspected,
+                }
+            )
+    return rows

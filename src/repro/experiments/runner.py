@@ -1,0 +1,209 @@
+"""Experiment runner utilities: scales, load sweeps and config builders.
+
+Every figure of the paper is regenerated from the same three ingredients:
+
+* an :class:`ExperimentScale` (network size, cycle counts, seeds, load grid),
+* a *configuration builder* describing one curve/bar of the figure, and
+* a sweep driver (:func:`load_sweep` or :func:`max_throughput`).
+
+Three scales are provided.  ``TINY`` keeps the benchmark suite runnable in
+minutes on a laptop; ``SMALL`` is the default for examples; ``PAPER`` matches
+Table V of the paper (h=8, 16,512 nodes, 60,000 measured cycles, 5 seeds) and
+is provided for completeness — running it under CPython is a multi-day
+endeavour, which is exactly the substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..config import (
+    NetworkConfig,
+    RouterConfig,
+    RoutingConfig,
+    SimulationConfig,
+    TrafficConfig,
+)
+from ..core.arrangement import VcArrangement
+from ..metrics import SimulationResult
+from ..simulation import Simulation, average_results
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing knobs shared by all experiments."""
+
+    name: str
+    h: int
+    warmup_cycles: int
+    measure_cycles: int
+    seeds: int
+    loads: tuple[float, ...]
+    local_latency: int = 10
+    global_latency: int = 100
+    #: per-port buffer capacities (local, global) for the Figure 6/11 sweeps.
+    buffer_capacities: tuple[tuple[int, int], ...] = (
+        (64, 256), (128, 512), (192, 768), (256, 1024)
+    )
+
+    def network(self) -> NetworkConfig:
+        return NetworkConfig(
+            topology="dragonfly",
+            h=self.h,
+            local_latency=self.local_latency,
+            global_latency=self.global_latency,
+        )
+
+
+#: Benchmark scale: a 9-group, 72-node Dragonfly, short runs, single seed.
+TINY = ExperimentScale(
+    name="tiny",
+    h=2,
+    warmup_cycles=300,
+    measure_cycles=600,
+    seeds=1,
+    loads=(0.2, 0.5, 0.8, 1.0),
+    buffer_capacities=((64, 256), (128, 512), (192, 768), (256, 1024)),
+)
+
+#: Example/analysis scale: same network, longer runs, a few seeds, finer grid.
+SMALL = ExperimentScale(
+    name="small",
+    h=2,
+    warmup_cycles=1200,
+    measure_cycles=2500,
+    seeds=3,
+    loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+)
+
+#: The paper's own configuration (Table V).  Provided for documentation and
+#: API completeness; not intended to be run under pure CPython.
+PAPER = ExperimentScale(
+    name="paper",
+    h=8,
+    warmup_cycles=20000,
+    measure_cycles=60000,
+    seeds=5,
+    loads=tuple(round(0.05 * i, 2) for i in range(1, 21)),
+)
+
+SCALES: Dict[str, ExperimentScale] = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError as exc:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Configuration builders
+# ---------------------------------------------------------------------------
+
+ConfigBuilder = Callable[[float], SimulationConfig]
+
+
+@dataclass
+class Series:
+    """One labelled curve (or bar group) of a figure."""
+
+    label: str
+    builder: ConfigBuilder
+    results: List[SimulationResult] = field(default_factory=list)
+
+    def loads(self) -> List[float]:
+        return [r.offered_load for r in self.results]
+
+    def accepted(self) -> List[float]:
+        return [r.accepted_load for r in self.results]
+
+    def latencies(self) -> List[float]:
+        return [r.average_latency for r in self.results]
+
+
+def base_config(
+    scale: ExperimentScale,
+    *,
+    pattern: str = "uniform",
+    algorithm: str = "min",
+    vc_policy: str = "baseline",
+    arrangement: VcArrangement | None = None,
+    reactive: bool = False,
+    buffer_organization: str = "static",
+    damq_private_fraction: float = 0.75,
+    vc_selection: str = "jsq",
+    pb_sensing: str = "port",
+    pb_min_credits_only: bool = False,
+    speedup: int = 2,
+    local_port_phits: int | None = None,
+    global_port_phits: int | None = None,
+    seed: int = 1,
+) -> SimulationConfig:
+    """Assemble a :class:`SimulationConfig` for one experimental point."""
+    if arrangement is None:
+        arrangement = (
+            VcArrangement.request_reply((2, 1), (2, 1))
+            if reactive
+            else VcArrangement.single_class(2, 1)
+        )
+    return SimulationConfig(
+        network=scale.network(),
+        router=RouterConfig(
+            buffer_organization=buffer_organization,
+            damq_private_fraction=damq_private_fraction,
+            speedup=speedup,
+            local_port_phits=local_port_phits,
+            global_port_phits=global_port_phits,
+        ),
+        routing=RoutingConfig(
+            algorithm=algorithm,
+            vc_policy=vc_policy,
+            vc_selection=vc_selection,
+            pb_sensing=pb_sensing,
+            pb_min_credits_only=pb_min_credits_only,
+        ),
+        traffic=TrafficConfig(pattern=pattern, load=0.5, reactive=reactive),
+        arrangement=arrangement,
+        warmup_cycles=scale.warmup_cycles,
+        measure_cycles=scale.measure_cycles,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sweep drivers
+# ---------------------------------------------------------------------------
+
+def run_point(config: SimulationConfig, seeds: int = 1) -> SimulationResult:
+    """Run one configuration under ``seeds`` seeds and average."""
+    results = [
+        Simulation(config.with_seed(config.seed + i)).run() for i in range(max(1, seeds))
+    ]
+    return average_results(results)
+
+
+def load_sweep(
+    series: Sequence[Series],
+    loads: Iterable[float],
+    seeds: int = 1,
+) -> List[Series]:
+    """Run every series at every offered load (latency/throughput curves)."""
+    loads = list(loads)
+    for entry in series:
+        entry.results = [
+            run_point(entry.builder(load).with_load(load), seeds) for load in loads
+        ]
+    return list(series)
+
+
+def max_throughput(
+    series: Sequence[Series],
+    seeds: int = 1,
+    saturation_load: float = 1.0,
+) -> List[Series]:
+    """Accepted load at full offered load (the paper's "maximum throughput")."""
+    return load_sweep(series, [saturation_load], seeds)

@@ -1,0 +1,91 @@
+"""Network links: fixed latency plus one-phit-per-cycle serialization.
+
+A :class:`Link` is unidirectional.  The forward direction carries packets
+(serialized at one phit per cycle, then ``latency`` cycles of flight time);
+the reverse direction of the paired link carries credit returns, modelled as
+latency-only messages (credits are tiny compared to packets).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .core.link_types import LinkType
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+
+class Link:
+    """Unidirectional channel between an output port and an input port."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        latency: int,
+        link_type: LinkType,
+        deliver: Callable[[Packet, int, int], None],
+        name: str = "",
+    ) -> None:
+        if latency < 1:
+            raise ValueError("link latency must be >= 1 cycle")
+        self.engine = engine
+        self.latency = latency
+        self.link_type = link_type
+        #: callback ``deliver(packet, vc, now)`` at the downstream input port.
+        self._deliver = deliver
+        self.name = name
+        #: cycle at which the tail of the last packet leaves the upstream side.
+        self.busy_until = 0
+        #: accounting for link-utilization statistics.
+        self.phits_transmitted = 0
+
+    def idle_at(self, now: int) -> bool:
+        """Can a new packet start serializing onto the link at ``now``?"""
+        return self.busy_until <= now
+
+    def transmit(self, packet: Packet, vc: int, now: int) -> int:
+        """Start transmitting ``packet`` towards VC ``vc`` of the downstream port.
+
+        Returns the cycle at which the packet has fully left the upstream side
+        (i.e. when its output-buffer space can be reclaimed).  The packet is
+        delivered downstream once its last phit lands, ``latency`` cycles
+        later (virtual cut-through at packet granularity).
+        """
+        if not self.idle_at(now):
+            raise RuntimeError(f"link {self.name or id(self)} busy until {self.busy_until}")
+        tail_out = now + packet.size_phits
+        self.busy_until = tail_out
+        self.phits_transmitted += packet.size_phits
+        arrival = tail_out + self.latency
+        self.engine.schedule(arrival, lambda t, p=packet, v=vc: self._deliver(p, v, t))
+        return tail_out
+
+
+class CreditChannel:
+    """Reverse channel carrying credit returns to an upstream credit tracker."""
+
+    def __init__(self, engine: "Engine", latency: int) -> None:
+        if latency < 1:
+            raise ValueError("credit latency must be >= 1 cycle")
+        self.engine = engine
+        self.latency = latency
+        self._sink: Optional[Callable[[int, int, bool], None]] = None
+
+    def connect(self, sink: Callable[[int, int, bool], None]) -> None:
+        """Attach the upstream callback ``sink(vc, phits, minimal)``."""
+        self._sink = sink
+
+    @property
+    def connected(self) -> bool:
+        return self._sink is not None
+
+    def send_credit(self, vc: int, phits: int, minimal: bool, now: int) -> None:
+        """Return ``phits`` of credit for ``vc`` after the channel latency."""
+        if self._sink is None:
+            raise RuntimeError("credit channel is not connected to an upstream tracker")
+        self.engine.schedule(
+            now + self.latency,
+            lambda t, v=vc, p=phits, m=minimal: self._sink(v, p, m),
+        )

@@ -1,0 +1,131 @@
+"""Steady-state statistics: latency, throughput, misrouting, progress tracking.
+
+The paper reports average packet latency and accepted load (phits/node/cycle)
+measured in steady state after a warm-up period.  :class:`MetricsCollector`
+implements that methodology: packets generated before the measurement window
+opens are excluded from latency statistics, and throughput is the number of
+phits delivered inside the window divided by ``nodes x window``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .packet import Packet
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run."""
+
+    offered_load: float
+    accepted_load: float
+    average_latency: float
+    latency_p99: float
+    packets_delivered: int
+    packets_generated: int
+    phits_delivered: int
+    measured_cycles: int
+    num_nodes: int
+    misrouted_fraction: float
+    deadlock_suspected: bool
+    extra: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"offered={self.offered_load:.3f} accepted={self.accepted_load:.3f} "
+            f"latency={self.average_latency:.1f}cy delivered={self.packets_delivered}"
+        )
+
+
+class MetricsCollector:
+    """Accumulates per-packet statistics and produces a :class:`SimulationResult`."""
+
+    def __init__(self, num_nodes: int, packet_size: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self.packet_size = packet_size
+        self.measurement_start: Optional[int] = None
+        self.measurement_end: Optional[int] = None
+        self.reset()
+
+    def reset(self) -> None:
+        self.packets_generated = 0
+        self.packets_delivered_total = 0
+        self.packets_delivered_window = 0
+        self.phits_delivered_window = 0
+        self.phits_generated_window = 0
+        self.latencies: List[int] = []
+        self.misrouted_measured = 0
+        self.measured_delivered = 0
+        self.last_delivery_cycle = -1
+
+    # -- window control ---------------------------------------------------------
+    def open_window(self, start_cycle: int, end_cycle: int) -> None:
+        """Define the steady-state measurement window ``[start, end)``."""
+        if end_cycle <= start_cycle:
+            raise ValueError("measurement window must be non-empty")
+        self.measurement_start = start_cycle
+        self.measurement_end = end_cycle
+
+    def in_window(self, cycle: int) -> bool:
+        return (
+            self.measurement_start is not None
+            and self.measurement_end is not None
+            and self.measurement_start <= cycle < self.measurement_end
+        )
+
+    # -- recording ----------------------------------------------------------------
+    def record_generation(self, packet: Packet, cycle: int) -> None:
+        self.packets_generated += 1
+        packet.measured = self.in_window(cycle)
+        if packet.measured:
+            self.phits_generated_window += packet.size_phits
+
+    def record_delivery(self, packet: Packet, cycle: int) -> None:
+        self.packets_delivered_total += 1
+        self.last_delivery_cycle = cycle
+        if self.in_window(cycle):
+            self.packets_delivered_window += 1
+            self.phits_delivered_window += packet.size_phits
+        if packet.measured:
+            self.measured_delivered += 1
+            self.latencies.append(packet.latency)
+            if not packet.is_minimal:
+                self.misrouted_measured += 1
+
+    # -- results ------------------------------------------------------------------------
+    def _percentile(self, values: List[int], fraction: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return float(ordered[index])
+
+    def result(self, offered_load: float, deadlock_suspected: bool = False) -> SimulationResult:
+        if self.measurement_start is None or self.measurement_end is None:
+            raise ValueError("measurement window was never opened")
+        window = self.measurement_end - self.measurement_start
+        accepted = self.phits_delivered_window / (self.num_nodes * window)
+        average_latency = (
+            sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+        )
+        misrouted_fraction = (
+            self.misrouted_measured / self.measured_delivered
+            if self.measured_delivered else 0.0
+        )
+        return SimulationResult(
+            offered_load=offered_load,
+            accepted_load=accepted,
+            average_latency=average_latency,
+            latency_p99=self._percentile(self.latencies, 0.99),
+            packets_delivered=self.packets_delivered_window,
+            packets_generated=self.packets_generated,
+            phits_delivered=self.phits_delivered_window,
+            measured_cycles=window,
+            num_nodes=self.num_nodes,
+            misrouted_fraction=misrouted_fraction,
+            deadlock_suspected=deadlock_suspected,
+        )

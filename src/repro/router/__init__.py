@@ -1,0 +1,19 @@
+"""Router microarchitecture: ports, buffers wiring, allocation and credits."""
+
+from .allocator import Request, SeparableAllocator
+from .credits import CreditTracker
+from .ports import EjectionPort, InputPort, OutputPort
+from .router import Router, make_port_buffer
+from .saturation import SaturationBoard
+
+__all__ = [
+    "Router",
+    "make_port_buffer",
+    "InputPort",
+    "OutputPort",
+    "EjectionPort",
+    "CreditTracker",
+    "SeparableAllocator",
+    "Request",
+    "SaturationBoard",
+]

@@ -1,0 +1,68 @@
+"""Iterative input-first separable allocator (Table V).
+
+Each allocation iteration proceeds in two stages:
+
+1. **Input stage** — every input port proposes at most one request (the router
+   picks the VC round-robin and performs routing, credit and output-buffer
+   checks before proposing; see :meth:`repro.router.router.Router._propose`).
+2. **Output stage** — every output resource (a network output port or an
+   ejection port) grants at most one of the requests targeting it, using a
+   rotating round-robin priority over input ports for fairness.
+
+The router runs ``speedup`` iterations per cycle, which is how the paper's 2x
+crossbar frequency speedup is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from ..packet import Packet
+
+
+@dataclass
+class Request:
+    """One input port's proposal for the current allocation iteration."""
+
+    input_index: int
+    input_vc: int
+    packet: Packet
+    #: hashable key of the contended output resource: ``("out", port)`` for a
+    #: network output, ``("eject", node, msg_class)`` for a consumption port.
+    resource: Hashable
+    #: chosen output VC (network outputs only).
+    out_vc: int = -1
+    #: opaque candidate handle the router uses to execute the grant.
+    candidate: Optional[object] = None
+
+
+class SeparableAllocator:
+    """Output-stage arbiter with rotating round-robin priority."""
+
+    def __init__(self, num_inputs: int) -> None:
+        if num_inputs < 1:
+            raise ValueError("num_inputs must be >= 1")
+        self.num_inputs = num_inputs
+        self._priority = 0
+
+    def arbitrate(self, requests: List[Request]) -> List[Request]:
+        """Grant at most one request per output resource.
+
+        ``requests`` must contain at most one entry per input port (the input
+        stage guarantees this).  Returns the granted subset.
+        """
+        by_resource: Dict[Hashable, List[Request]] = {}
+        for request in requests:
+            by_resource.setdefault(request.resource, []).append(request)
+
+        grants: List[Request] = []
+        for resource_requests in by_resource.values():
+            winner = min(
+                resource_requests,
+                key=lambda r: (r.input_index - self._priority) % self.num_inputs,
+            )
+            grants.append(winner)
+        # Rotate priority so no input port starves.
+        self._priority = (self._priority + 1) % self.num_inputs
+        return grants

@@ -1,0 +1,160 @@
+"""Router ports: network inputs, network outputs, injection and ejection.
+
+The router is combined input-output buffered (Section IV): every network
+input port holds per-VC queues backed by a
+:class:`~repro.buffers.base.BufferOrganization`, every network output port
+holds a small output buffer that decouples crossbar traversal from link
+serialization, and each attached node owns an injection port (three deep VC
+buffers in Table V) and two consumption (ejection) ports — one for requests,
+one for replies — so that request-reply protocol deadlock is resolved at the
+endpoints as in Cray Cascade.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..buffers.base import BufferOrganization
+from ..core.link_types import LinkType, MessageClass
+from ..link import CreditChannel, Link
+from ..packet import Packet
+from .credits import CreditTracker
+
+
+class InputPort:
+    """Per-VC queues of a network input port (or an injection port)."""
+
+    def __init__(
+        self,
+        port_id: int,
+        link_type: Optional[LinkType],
+        num_vcs: int,
+        buffer: BufferOrganization,
+        pipeline_latency: int,
+        is_injection: bool = False,
+    ) -> None:
+        if buffer.num_vcs != num_vcs:
+            raise ValueError("buffer organization VC count must match num_vcs")
+        self.port_id = port_id
+        self.link_type = link_type
+        self.num_vcs = num_vcs
+        self.buffer = buffer
+        self.pipeline_latency = pipeline_latency
+        self.is_injection = is_injection
+        #: per-VC FIFO of (packet, ready_cycle) pairs.
+        self.queues: list[Deque[tuple[Packet, int]]] = [deque() for _ in range(num_vcs)]
+        #: reverse channel returning credits to the upstream output port.
+        self.credit_channel: Optional[CreditChannel] = None
+        #: round-robin pointer over VCs used by the allocator.
+        self.rr_pointer = 0
+        #: crossbar availability of this input.
+        self.xbar_busy_until = 0
+        #: number of packets currently resident in the port.
+        self.resident_packets = 0
+
+    # -- arrival --------------------------------------------------------------
+    def receive(self, packet: Packet, vc: int, now: int) -> None:
+        """Store an arriving packet into VC ``vc``; it becomes routable after
+        the router pipeline latency."""
+        self.buffer.allocate(vc, packet.size_phits)
+        packet.current_vc = vc
+        self.queues[vc].append((packet, now + self.pipeline_latency))
+        self.resident_packets += 1
+
+    # -- head access -------------------------------------------------------------
+    def head(self, vc: int, now: int) -> Optional[Packet]:
+        """Head packet of VC ``vc`` if it has cleared the pipeline, else None."""
+        queue = self.queues[vc]
+        if not queue:
+            return None
+        packet, ready = queue[0]
+        return packet if ready <= now else None
+
+    def pop(self, vc: int, now: int, minimal: bool) -> Packet:
+        """Remove the head packet of ``vc``, free its space and return credits."""
+        packet, _ = self.queues[vc].popleft()
+        self.buffer.release(vc, packet.size_phits)
+        self.resident_packets -= 1
+        if self.credit_channel is not None:
+            self.credit_channel.send_credit(vc, packet.size_phits, minimal, now)
+        return packet
+
+    def occupancy(self, vc: int) -> int:
+        return self.buffer.occupancy(vc)
+
+    def is_empty(self) -> bool:
+        return self.resident_packets == 0
+
+
+class OutputPort:
+    """Network output port: credit tracker, output buffer and link access."""
+
+    def __init__(
+        self,
+        port_id: int,
+        link_type: LinkType,
+        credit_tracker: CreditTracker,
+        output_buffer_phits: int,
+    ) -> None:
+        self.port_id = port_id
+        self.link_type = link_type
+        self.credits = credit_tracker
+        self.output_buffer_capacity = output_buffer_phits
+        self.output_buffer_occupancy = 0
+        #: packets that have crossed (or are crossing) the crossbar, waiting
+        #: for the link: (packet, out_vc, ready_cycle).
+        self.send_queue: Deque[tuple[Packet, int, int]] = deque()
+        self.xbar_busy_until = 0
+        self.link: Optional[Link] = None
+        #: grants handed out in the current cycle (bounded by the speedup).
+        self.grants_this_cycle = 0
+        #: utilization accounting.
+        self.packets_forwarded = 0
+
+    def attach_link(self, link: Link) -> None:
+        self.link = link
+
+    # -- admission -----------------------------------------------------------------
+    def buffer_space_for(self, phits: int) -> bool:
+        return self.output_buffer_occupancy + phits <= self.output_buffer_capacity
+
+    def accept(self, packet: Packet, out_vc: int, ready_cycle: int) -> None:
+        """Reserve output-buffer space for a granted packet."""
+        if not self.buffer_space_for(packet.size_phits):
+            raise RuntimeError("output buffer overflow — allocator must check space first")
+        self.output_buffer_occupancy += packet.size_phits
+        self.send_queue.append((packet, out_vc, ready_cycle))
+        self.packets_forwarded += 1
+
+    def release_buffer(self, phits: int) -> None:
+        if phits > self.output_buffer_occupancy:
+            raise RuntimeError("output buffer underflow")
+        self.output_buffer_occupancy -= phits
+
+    def has_pending(self) -> bool:
+        return bool(self.send_queue)
+
+
+class EjectionPort:
+    """Consumption port of one node for one message class (1 phit/cycle)."""
+
+    def __init__(self, node: int, msg_class: MessageClass) -> None:
+        self.node = node
+        self.msg_class = msg_class
+        self.busy_until = 0
+        self.packets_consumed = 0
+        self.phits_consumed = 0
+
+    def idle_at(self, now: int) -> bool:
+        return self.busy_until <= now
+
+    def consume(self, packet: Packet, now: int) -> int:
+        """Start consuming ``packet``; returns its completion cycle."""
+        if not self.idle_at(now):
+            raise RuntimeError("ejection port busy")
+        done = now + packet.size_phits
+        self.busy_until = done
+        self.packets_consumed += 1
+        self.phits_consumed += packet.size_phits
+        return done

@@ -1,0 +1,412 @@
+"""Cycle-level router model.
+
+Combined input-output buffered router (Section IV): per-VC input buffers
+(statically partitioned or DAMQ), an iterative input-first separable
+allocator running ``speedup`` iterations per cycle, small per-port output
+buffers decoupling the crossbar from link serialization, credit-based virtual
+cut-through flow control, and separate consumption ports for requests and
+replies.
+
+One :class:`Router` instance owns the injection queues of its ``p`` attached
+nodes, its network input/output ports, and (for Piggyback routing in a
+Dragonfly) a reference to its group's saturation board.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
+
+from ..buffers.base import BufferOrganization
+from ..buffers.damq import DamqBuffer
+from ..buffers.fifo import StaticallyPartitionedBuffer
+from ..config import RouterConfig, RoutingConfig
+from ..core.arrangement import VcArrangement
+from ..core.link_types import LinkType, MessageClass
+from ..core.vc_selection import VcSelection
+from ..packet import Packet
+from ..routing.base import CandidateHop, EjectionRequest, RoutingAlgorithm
+from ..topology.base import Topology
+from .allocator import Request, SeparableAllocator
+from .credits import CreditTracker
+from .ports import EjectionPort, InputPort, OutputPort
+from .saturation import SaturationBoard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import Engine
+
+
+def make_port_buffer(
+    router_config: RouterConfig,
+    num_vcs: int,
+    is_global: bool,
+) -> BufferOrganization:
+    """Build the buffer organization of one network port.
+
+    The same constructor is used for the downstream input port and for the
+    upstream credit mirror, which keeps both views structurally identical.
+    """
+    port_capacity = router_config.port_capacity(num_vcs, is_global)
+    if router_config.buffer_organization == "damq":
+        return DamqBuffer.from_fraction(
+            num_vcs, port_capacity, router_config.damq_private_fraction
+        )
+    per_vc = router_config.vc_capacity(num_vcs, is_global)
+    return StaticallyPartitionedBuffer(num_vcs, per_vc)
+
+
+class Router:
+    """One network router plus the injection/ejection machinery of its nodes."""
+
+    def __init__(
+        self,
+        router_id: int,
+        topology: Topology,
+        engine: "Engine",
+        router_config: RouterConfig,
+        routing_config: RoutingConfig,
+        arrangement: VcArrangement,
+        routing: RoutingAlgorithm,
+        selection: VcSelection,
+        rng: random.Random,
+        on_delivery: Callable[[Packet, int], None],
+        on_injection: Optional[Callable[[Packet, int], None]] = None,
+    ) -> None:
+        self.router_id = router_id
+        self.topology = topology
+        self.engine = engine
+        self.router_config = router_config
+        self.routing_config = routing_config
+        self.arrangement = arrangement
+        self.routing = routing
+        self.selection = selection
+        self.rng = rng
+        self.on_delivery = on_delivery
+        self.on_injection = on_injection
+        self.speedup = router_config.speedup
+        self.saturation_board: Optional[SaturationBoard] = None
+
+        p = topology.nodes_per_router
+        self.num_nodes = p
+        self.nodes = list(topology.nodes_of_router(router_id))
+
+        # -- network ports ------------------------------------------------------
+        self.input_ports: Dict[int, InputPort] = {}
+        self.output_ports: Dict[int, OutputPort] = {}
+        for info in topology.ports(router_id):
+            num_vcs = arrangement.total(info.link_type)
+            in_buffer = make_port_buffer(
+                router_config, num_vcs, info.link_type == LinkType.GLOBAL
+            )
+            self.input_ports[info.port] = InputPort(
+                port_id=info.port,
+                link_type=info.link_type,
+                num_vcs=num_vcs,
+                buffer=in_buffer,
+                pipeline_latency=router_config.pipeline_latency,
+            )
+            mirror = make_port_buffer(
+                router_config, num_vcs, info.link_type == LinkType.GLOBAL
+            )
+            self.output_ports[info.port] = OutputPort(
+                port_id=info.port,
+                link_type=info.link_type,
+                credit_tracker=CreditTracker(mirror),
+                output_buffer_phits=router_config.output_buffer_phits,
+            )
+
+        # -- injection / ejection -------------------------------------------------
+        self.injection_ports: List[InputPort] = []
+        for node_idx in range(p):
+            buffer = StaticallyPartitionedBuffer(
+                router_config.num_injection_vcs, router_config.injection_vc_phits
+            )
+            self.injection_ports.append(
+                InputPort(
+                    port_id=-(node_idx + 1),
+                    link_type=None,
+                    num_vcs=router_config.num_injection_vcs,
+                    buffer=buffer,
+                    pipeline_latency=router_config.pipeline_latency,
+                    is_injection=True,
+                )
+            )
+        self.ejection_ports: List[Dict[MessageClass, EjectionPort]] = [
+            {
+                MessageClass.REQUEST: EjectionPort(self.nodes[i], MessageClass.REQUEST),
+                MessageClass.REPLY: EjectionPort(self.nodes[i], MessageClass.REPLY),
+            }
+            for i in range(p)
+        ]
+        self.source_queues: List[Deque[Packet]] = [deque() for _ in range(p)]
+        self.injection_busy_until: List[int] = [0] * p
+
+        # -- allocator bookkeeping ----------------------------------------------------
+        # Allocation inputs: injection ports first, then network ports in
+        # ascending port order.
+        self._alloc_inputs: List[InputPort] = list(self.injection_ports) + [
+            self.input_ports[port] for port in sorted(self.input_ports)
+        ]
+        self.allocator = SeparableAllocator(len(self._alloc_inputs))
+        self._grant_cycle = -1
+        self.resident_packets = 0
+
+        # -- statistics ---------------------------------------------------------------
+        self.packets_injected = 0
+        self.packets_delivered = 0
+        self.misrouted_packets = 0
+
+    # ------------------------------------------------------------------
+    # External interface (wiring and traffic)
+    # ------------------------------------------------------------------
+    def attach_saturation_board(self, board: SaturationBoard) -> None:
+        self.saturation_board = board
+
+    def receive_network(self, packet: Packet, port: int, vc: int, now: int) -> None:
+        """Deliver a packet arriving from a link into input ``port`` / VC ``vc``."""
+        self.input_ports[port].receive(packet, vc, now)
+        self.resident_packets += 1
+
+    def enqueue_source(self, packet: Packet, now: int) -> None:
+        """Queue a newly generated packet at its source node."""
+        local = packet.src_node - self.nodes[0]
+        if not 0 <= local < self.num_nodes:
+            raise ValueError(
+                f"packet source node {packet.src_node} is not attached to router {self.router_id}"
+            )
+        packet.created_at = packet.created_at if packet.created_at else now
+        self.source_queues[local].append(packet)
+
+    def has_work(self) -> bool:
+        if self.saturation_board is not None:
+            # Piggyback needs fresh saturation bits even while the router is
+            # otherwise idle (outstanding downstream credits keep draining).
+            return True
+        if self.resident_packets > 0:
+            return True
+        if any(self.source_queues):
+            return True
+        if any(port.resident_packets for port in self.injection_ports):
+            return True
+        return any(op.has_pending() for op in self.output_ports.values())
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        self._inject_from_sources(now)
+        self._allocate(now)
+        self._transmit(now)
+        if self.saturation_board is not None:
+            self._update_saturation()
+
+    # -- injection --------------------------------------------------------------------
+    def _inject_from_sources(self, now: int) -> None:
+        for local in range(self.num_nodes):
+            queue = self.source_queues[local]
+            if not queue or self.injection_busy_until[local] > now:
+                continue
+            packet = queue[0]
+            port = self.injection_ports[local]
+            best_vc = -1
+            best_free = -1
+            for vc in range(port.num_vcs):
+                free = port.buffer.free_for(vc)
+                if free >= packet.size_phits and free > best_free:
+                    best_vc, best_free = vc, free
+            if best_vc < 0:
+                continue
+            queue.popleft()
+            # The packet finishes serializing from the node after size cycles.
+            port.receive(packet, best_vc, now + packet.size_phits)
+            self.injection_busy_until[local] = now + packet.size_phits
+            packet.injected_at = now
+            self.packets_injected += 1
+            if self.on_injection is not None:
+                self.on_injection(packet, now)
+
+    # -- allocation ---------------------------------------------------------------------
+    def _allocate(self, now: int) -> None:
+        if self._grant_cycle != now:
+            self._grant_cycle = now
+            for op in self.output_ports.values():
+                op.grants_this_cycle = 0
+        for _ in range(self.speedup):
+            requests: List[Request] = []
+            for index, port in enumerate(self._alloc_inputs):
+                if port.xbar_busy_until > now:
+                    continue
+                if port.resident_packets == 0 and not port.is_injection:
+                    continue
+                request = self._propose(index, port, now)
+                if request is not None:
+                    requests.append(request)
+            if not requests:
+                break
+            for grant in self.allocator.arbitrate(requests):
+                self._execute_grant(grant, now)
+
+    def _propose(self, input_index: int, port: InputPort, now: int) -> Optional[Request]:
+        """Input stage: pick one requestable head packet from ``port`` (round-robin)."""
+        num_vcs = port.num_vcs
+        for offset in range(num_vcs):
+            vc = (port.rr_pointer + offset) % num_vcs
+            packet = port.head(vc, now)
+            if packet is None:
+                continue
+            request = self._request_for(input_index, port, vc, packet, now)
+            if request is not None:
+                port.rr_pointer = (vc + 1) % num_vcs
+                return request
+        return None
+
+    def _request_for(
+        self, input_index: int, port: InputPort, vc: int, packet: Packet, now: int
+    ) -> Optional[Request]:
+        plan = self._plan_for(port, vc, packet)
+        if isinstance(plan, EjectionRequest):
+            local = plan.node - self.nodes[0]
+            ejection = self.ejection_ports[local][plan.msg_class]
+            if not ejection.idle_at(now):
+                return None
+            return Request(
+                input_index=input_index,
+                input_vc=vc,
+                packet=packet,
+                resource=("eject", local, plan.msg_class),
+                candidate=plan,
+            )
+        for candidate in plan:
+            request = self._forward_request(input_index, vc, packet, candidate, now)
+            if request is not None:
+                return request
+        return None
+
+    def _plan_for(self, port: InputPort, vc: int, packet: Packet):
+        cache = packet.plan_cache
+        if cache is not None and cache[0] == self.router_id and cache[1] == vc:
+            return cache[2]
+        input_type = None if port.is_injection else port.link_type
+        input_vc = -1 if port.is_injection else vc
+        plan = self.routing.plan(self, packet, input_type, input_vc)
+        packet.plan_cache = (self.router_id, vc, plan)
+        return plan
+
+    def _forward_request(
+        self, input_index: int, vc: int, packet: Packet,
+        candidate: CandidateHop, now: int,
+    ) -> Optional[Request]:
+        op = self.output_ports[candidate.out_port]
+        if op.xbar_busy_until > now or op.grants_this_cycle >= self.speedup:
+            return None
+        if not op.buffer_space_for(packet.size_phits):
+            return None
+        tracker = op.credits
+        candidates: List[int] = []
+        free: List[int] = []
+        for out_vc in candidate.vc_range:
+            if tracker.can_send(out_vc, packet.size_phits):
+                candidates.append(out_vc)
+                free.append(tracker.free_for(out_vc))
+        if not candidates:
+            return None
+        chosen = self.selection.choose(candidates, free, self.rng)
+        return Request(
+            input_index=input_index,
+            input_vc=vc,
+            packet=packet,
+            resource=("out", candidate.out_port),
+            out_vc=chosen,
+            candidate=candidate,
+        )
+
+    def _execute_grant(self, grant: Request, now: int) -> None:
+        port = self._alloc_inputs[grant.input_index]
+        packet = grant.packet
+        if isinstance(grant.candidate, EjectionRequest):
+            self._eject(port, grant, now)
+            return
+        candidate: CandidateHop = grant.candidate
+        op = self.output_ports[candidate.out_port]
+        xbar_time = max(1, math.ceil(packet.size_phits / self.speedup))
+        minimal_tag = packet.is_minimal and not candidate.abandons_detour
+        # Pop from the input buffer (returns credits upstream for network ports).
+        port.pop(grant.input_vc, now, packet.credit_tag_minimal)
+        if not port.is_injection:
+            self.resident_packets -= 1
+        # Debit downstream credits under the packet's (possibly updated) class.
+        self.routing.on_hop_taken(packet, candidate)
+        minimal_tag = packet.is_minimal
+        op.credits.debit(grant.out_vc, packet.size_phits, minimal_tag)
+        packet.credit_tag_minimal = minimal_tag
+        port.xbar_busy_until = now + xbar_time
+        op.xbar_busy_until = now + xbar_time
+        op.grants_this_cycle += 1
+        op.accept(packet, grant.out_vc, ready_cycle=now + xbar_time)
+        if not packet.is_minimal and packet.hops == 1:
+            self.misrouted_packets += 1
+
+    def _eject(self, port: InputPort, grant: Request, now: int) -> None:
+        packet = grant.packet
+        request: EjectionRequest = grant.candidate
+        local = request.node - self.nodes[0]
+        ejection = self.ejection_ports[local][request.msg_class]
+        port.pop(grant.input_vc, now, packet.credit_tag_minimal)
+        if not port.is_injection:
+            self.resident_packets -= 1
+        done = ejection.consume(packet, now)
+        packet.delivered_at = done
+        packet.plan_cache = None
+        self.packets_delivered += 1
+        self.engine.schedule(done, lambda t, p=packet: self.on_delivery(p, t))
+
+    # -- transmission ------------------------------------------------------------------------
+    def _transmit(self, now: int) -> None:
+        for op in self.output_ports.values():
+            if not op.send_queue:
+                continue
+            link = op.link
+            if link is None:
+                raise RuntimeError(f"output port {op.port_id} of router {self.router_id} "
+                                   "has no link attached")
+            packet, out_vc, ready = op.send_queue[0]
+            if ready > now or not link.idle_at(now):
+                continue
+            op.send_queue.popleft()
+            tail_out = link.transmit(packet, out_vc, now)
+            self.engine.schedule(
+                tail_out, lambda t, o=op, size=packet.size_phits: o.release_buffer(size)
+            )
+
+    # -- congestion sensing --------------------------------------------------------------------
+    def _update_saturation(self) -> None:
+        """Refresh this router's saturation bits on the group board (Piggyback)."""
+        from ..topology.dragonfly import Dragonfly
+
+        topo = self.topology
+        if not isinstance(topo, Dragonfly):  # pragma: no cover - PB is Dragonfly-only here
+            return
+        board = self.saturation_board
+        assert board is not None
+        position = topo.position_in_group(self.router_id)
+        global_ports = [
+            (port, op) for port, op in self.output_ports.items()
+            if op.link_type == LinkType.GLOBAL
+        ]
+        if not global_ports:
+            return
+        per_vc = self.routing_config.pb_sensing == "vc"
+        minimal_only = self.routing_config.pb_min_credits_only
+        class_indices = (0, 1) if (per_vc and self.arrangement.is_reactive) else (0,)
+        for class_index in class_indices:
+            if class_index == 0:
+                vc = 0
+            else:
+                vc = min(self.arrangement.request_global,
+                         self.arrangement.total_global - 1)
+            for port, op in global_ports:
+                gport = port - topo.num_local_ports
+                occupancy = op.credits.occupancy_metric(per_vc, vc, minimal_only)
+                board.post(position, gport, class_index, occupancy)

@@ -1,0 +1,280 @@
+"""Routing algorithm interface and shared forwarding machinery.
+
+A routing algorithm answers one question per head packet per router: *where
+should this packet go next, and which virtual channels may it use?*  The
+answer is a prioritized list of :class:`CandidateHop` objects (or an
+:class:`EjectionRequest` when the packet has reached its destination router).
+
+The shared machinery in :class:`RoutingAlgorithm` handles everything that is
+common to MIN, Valiant, PAR and Piggyback:
+
+* computing the intended remaining hop-type sequence and the minimal escape
+  path from the next router (the inputs of the VC policy);
+* tracking the packet's routing *phase* so the distance-based baseline can
+  align hops onto its reference path;
+* offering the safe escape (minimal continuation) as a fallback candidate for
+  opportunistic hops, per Section III-A ("packets revert to the corresponding
+  safe path as an escape path" when the opportunistic buffer has no room).
+
+Concrete algorithms only implement the decision hooks: what to do at
+injection (:meth:`decide_at_injection`) and, for in-transit adaptive routing,
+whether to divert mid-path (:meth:`maybe_divert_in_transit`).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Union
+
+from ..config import RoutingConfig
+from ..core.arrangement import VcArrangement
+from ..core.link_types import HopSequence, LinkType, MessageClass
+from ..core.vc_policy import HopContext, HopKind, VcPolicy, VcRange
+from ..core.vc_selection import VcSelection
+from ..packet import Packet, RouteKind
+from ..topology.base import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..router.router import Router
+
+
+@dataclass
+class CandidateHop:
+    """One admissible forwarding option for a head packet."""
+
+    out_port: int
+    next_router: int
+    out_type: LinkType
+    vc_range: VcRange
+    opportunistic: bool = False
+    #: granting this hop lands the packet on its Valiant intermediate router.
+    reaches_intermediate: bool = False
+    #: granting this hop abandons the remaining detour (escape fallback).
+    abandons_detour: bool = False
+
+
+@dataclass
+class EjectionRequest:
+    """The packet has reached its destination router and awaits consumption."""
+
+    node: int
+    msg_class: MessageClass
+
+
+Plan = Union[EjectionRequest, List[CandidateHop]]
+
+
+class RoutingAlgorithm(ABC):
+    """Base class of MIN / VAL / PAR / Piggyback routing."""
+
+    #: human-readable name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(
+        self,
+        topology: Topology,
+        policy: VcPolicy,
+        selection: VcSelection,
+        config: RoutingConfig,
+        arrangement: VcArrangement,
+        rng: random.Random,
+    ) -> None:
+        self.topology = topology
+        self.policy = policy
+        self.selection = selection
+        self.config = config
+        self.arrangement = arrangement
+        self.rng = rng
+        #: reference-slot contribution of one minimal segment (phase), used to
+        #: advance the baseline's slot offsets between phases.
+        if topology.has_link_type_restrictions:
+            self.phase_ref = self._max_min_hop_counts()
+        else:
+            self.phase_ref = (max(2, topology.diameter), 0)
+
+    def _max_min_hop_counts(self) -> tuple[int, int]:
+        """Worst-case (local, global) hops of a minimal path in the topology."""
+        # Dragonfly: l-g-l; 2D Flattened Butterfly: one hop per dimension.
+        from ..topology.dragonfly import Dragonfly
+
+        if isinstance(self.topology, Dragonfly):
+            return (2, 1)
+        return (1, 1)
+
+    # ------------------------------------------------------------------
+    # Decision hooks
+    # ------------------------------------------------------------------
+    def decide_at_injection(self, router: "Router", packet: Packet) -> None:
+        """Choose MIN vs Valiant for a packet about to leave its source router.
+
+        The default (minimal routing) does nothing.
+        """
+
+    def maybe_divert_in_transit(self, router: "Router", packet: Packet) -> None:
+        """In-transit adaptive hook (PAR).  Default: never divert."""
+
+    # ------------------------------------------------------------------
+    # Plan computation
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        router: "Router",
+        packet: Packet,
+        input_type: Optional[LinkType],
+        input_vc: int,
+    ) -> Plan:
+        """Forwarding plan for ``packet`` currently heading a queue at ``router``."""
+        here = router.router_id
+        dst_router = self.topology.router_of_node(packet.dst_node)
+        if dst_router == here:
+            return EjectionRequest(node=packet.dst_node, msg_class=packet.msg_class)
+
+        if not packet.route_decided:
+            self.decide_at_injection(router, packet)
+            packet.route_decided = True
+        self.maybe_divert_in_transit(router, packet)
+
+        if packet.route_kind == RouteKind.VALIANT and not packet.intermediate_reached:
+            if packet.intermediate_router == here:
+                # Landed on the intermediate without taking a hop (possible when
+                # the intermediate equals the source router's neighbourhood).
+                self._enter_second_phase(packet)
+
+        candidates: List[CandidateHop] = []
+        if packet.route_kind == RouteKind.VALIANT and not packet.intermediate_reached:
+            detour = self._candidate_towards(
+                router, packet, packet.intermediate_router, input_type, input_vc,
+                is_detour=True,
+            )
+            if detour is not None:
+                candidates.append(detour)
+                if detour.opportunistic:
+                    escape = self._candidate_towards(
+                        router, packet, dst_router, input_type, input_vc,
+                        is_detour=False, abandons_detour=True,
+                    )
+                    if escape is not None:
+                        candidates.append(escape)
+        else:
+            direct = self._candidate_towards(
+                router, packet, dst_router, input_type, input_vc, is_detour=False
+            )
+            if direct is not None:
+                candidates.append(direct)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Candidate construction helpers
+    # ------------------------------------------------------------------
+    def _candidate_towards(
+        self,
+        router: "Router",
+        packet: Packet,
+        target_router: int,
+        input_type: Optional[LinkType],
+        input_vc: int,
+        is_detour: bool,
+        abandons_detour: bool = False,
+    ) -> Optional[CandidateHop]:
+        """Build the candidate for the next minimal hop towards ``target_router``."""
+        here = router.router_id
+        dst_router = self.topology.router_of_node(packet.dst_node)
+        out_port = self.topology.min_next_port(here, target_router)
+        if out_port is None:
+            return None
+        next_router = self.topology.neighbor(here, out_port)
+        out_type = self.topology.link_type(here, out_port)
+        intended = self._intended_remaining(here, packet, target_router, dst_router,
+                                            abandons_detour)
+        escape = self.topology.min_hop_sequence(next_router, dst_router)
+        ctx = HopContext(
+            msg_class=packet.msg_class,
+            out_type=out_type,
+            intended_remaining=intended,
+            escape_from_next=escape,
+            input_type=input_type,
+            input_vc=input_vc,
+            phase_offsets=packet.phase_offsets,
+            phase_position=packet.phase_position,
+            phase_global_taken=packet.phase_global_taken,
+        )
+        vc_range = self.policy.allowed_vcs(ctx)
+        if vc_range is None:
+            return None
+        opportunistic = self.policy.hop_kind(ctx) == HopKind.OPPORTUNISTIC
+        reaches_intermediate = (
+            is_detour and next_router == packet.intermediate_router
+        )
+        return CandidateHop(
+            out_port=out_port,
+            next_router=next_router,
+            out_type=out_type,
+            vc_range=vc_range,
+            opportunistic=opportunistic,
+            reaches_intermediate=reaches_intermediate,
+            abandons_detour=abandons_detour,
+        )
+
+    def _intended_remaining(
+        self,
+        here: int,
+        packet: Packet,
+        target_router: int,
+        dst_router: int,
+        abandons_detour: bool,
+    ) -> HopSequence:
+        """Hop-type sequence of the packet's intended route from ``here``."""
+        if abandons_detour or packet.route_kind == RouteKind.MINIMAL \
+                or packet.intermediate_reached:
+            return self.topology.min_hop_sequence(here, dst_router)
+        first_leg = self.topology.min_hop_sequence(here, target_router)
+        second_leg = self.topology.min_hop_sequence(target_router, dst_router)
+        return first_leg + second_leg
+
+    # ------------------------------------------------------------------
+    # State updates on grant
+    # ------------------------------------------------------------------
+    def on_hop_taken(self, packet: Packet, candidate: CandidateHop) -> None:
+        """Update the packet's routing/phase state after a granted hop."""
+        packet.hops += 1
+        packet.phase_position += 1
+        if candidate.out_type == LinkType.GLOBAL:
+            packet.phase_global_taken = True
+        if candidate.abandons_detour:
+            # The packet reverts to its safe minimal continuation.
+            packet.intermediate_reached = True
+            self._enter_second_phase(packet)
+        elif candidate.reaches_intermediate:
+            packet.intermediate_reached = True
+            self._enter_second_phase(packet)
+        packet.plan_cache = None
+
+    def _enter_second_phase(self, packet: Packet) -> None:
+        local, global_ = packet.phase_offsets
+        packet.begin_phase((local + self.phase_ref[0], global_ + self.phase_ref[1]))
+        packet.intermediate_reached = True
+
+    # ------------------------------------------------------------------
+    # Shared decision utilities (used by VAL / PAR / PB)
+    # ------------------------------------------------------------------
+    def _pick_intermediate(self, packet: Packet, src_router: int, dst_router: int) -> int:
+        """Uniformly random intermediate router distinct from source and destination."""
+        n = self.topology.num_routers
+        if n <= 2:
+            return dst_router
+        while True:
+            candidate = self.rng.randrange(n)
+            if candidate != src_router and candidate != dst_router:
+                return candidate
+
+    def _local_queue_metric(self, router: "Router", target_router: int) -> int:
+        """Credit occupancy of the output port on the minimal path to ``target_router``."""
+        out_port = self.topology.min_next_port(router.router_id, target_router)
+        if out_port is None:
+            return 0
+        minimal_only = self.config.pb_min_credits_only
+        per_vc = self.config.pb_sensing == "vc"
+        tracker = router.output_ports[out_port].credits
+        return tracker.occupancy_metric(per_vc, 0, minimal_only)

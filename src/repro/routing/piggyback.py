@@ -1,0 +1,94 @@
+"""Piggyback (PB) source-adaptive routing with remote congestion sensing.
+
+PB (Jiang, Kim & Dally, ISCA 2009) is the source-adaptive mechanism evaluated
+in Section V-C.  Every router measures the credit occupancy of its global
+ports, marks as *saturated* those whose occupancy exceeds the router's average
+by 50%, and piggybacks these bits to the other routers of its group.  At
+injection, the source router combines the saturation bit of the global link on
+the minimal path with a local UGAL-style credit comparison to decide between
+the minimal path and a Valiant detour.
+
+Sensing variants (Figure 8):
+
+* **per-port** — the saturation metric is the total occupancy of all VCs of
+  the global port;
+* **per-VC** — only the first VC of the port (the VC minimal traffic uses
+  under distance-based management; with request-reply traffic, the first VC
+  of each sub-path) is considered;
+* **minCred** (``pb_min_credits_only``) — FlexVC-minCred: only credits held by
+  minimally-routed packets are counted, restoring the pattern-identification
+  ability that FlexVC's buffer sharing blurs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.link_types import LinkType, MessageClass
+from ..packet import Packet
+from .base import RoutingAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..router.router import Router
+
+
+class PiggybackRouting(RoutingAlgorithm):
+    """UGAL-style source-adaptive routing driven by piggybacked saturation bits."""
+
+    name = "pb"
+
+    # -- sensing helpers -------------------------------------------------------
+    def sensing_vc(self, msg_class: MessageClass) -> int:
+        """First VC of the message class's sub-path (per-VC sensing)."""
+        if msg_class == MessageClass.REPLY and self.arrangement.is_reactive:
+            return self.arrangement.request_global if self.arrangement.request_global > 0 else 0
+        return 0
+
+    def _queue_metric(self, router: "Router", target_router: int,
+                      msg_class: MessageClass) -> int:
+        out_port = self.topology.min_next_port(router.router_id, target_router)
+        if out_port is None:
+            return 0
+        tracker = router.output_ports[out_port].credits
+        per_vc = self.config.pb_sensing == "vc"
+        vc = min(self.sensing_vc(msg_class), tracker.num_vcs - 1)
+        return tracker.occupancy_metric(per_vc, vc, self.config.pb_min_credits_only)
+
+    def _min_global_saturated(self, router: "Router", packet: Packet,
+                              dst_router: int) -> bool:
+        """Saturation bit of the global link on the packet's minimal path."""
+        from ..topology.dragonfly import Dragonfly
+
+        topo = self.topology
+        if not isinstance(topo, Dragonfly):
+            return False
+        src_group = topo.group_of(router.router_id)
+        dst_group = topo.group_of(dst_router)
+        if src_group == dst_group:
+            return False
+        gateway, gport = topo.gateway_router(src_group, dst_group)
+        board = router.saturation_board
+        if board is None:
+            return False
+        class_index = 1 if (packet.msg_class == MessageClass.REPLY
+                            and self.arrangement.is_reactive
+                            and self.config.pb_sensing == "vc") else 0
+        return board.is_saturated(topo.position_in_group(gateway), gport, class_index)
+
+    # -- injection decision ---------------------------------------------------------
+    def decide_at_injection(self, router: "Router", packet: Packet) -> None:
+        src_router = router.router_id
+        dst_router = self.topology.router_of_node(packet.dst_node)
+        if dst_router == src_router:
+            return
+        seq = self.topology.min_hop_sequence(src_router, dst_router)
+        if LinkType.GLOBAL not in seq:
+            # Intra-group traffic: always minimal (no global link to protect).
+            return
+        intermediate = self._pick_intermediate(packet, src_router, dst_router)
+        saturated = self._min_global_saturated(router, packet, dst_router)
+        q_min = self._queue_metric(router, dst_router, packet.msg_class)
+        q_nonmin = self._queue_metric(router, intermediate, packet.msg_class)
+        threshold = self.config.pb_threshold * packet.size_phits
+        if saturated or q_min > 2 * q_nonmin + threshold:
+            packet.mark_valiant(intermediate)

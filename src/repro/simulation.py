@@ -1,0 +1,211 @@
+"""Simulation façade: build a network from a configuration and run it.
+
+``Simulation(config).run()`` wires everything together — topology, routers,
+links, credit channels, saturation boards, traffic and metrics — runs the
+warm-up and measurement phases, and returns a
+:class:`~repro.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from .config import SimulationConfig
+from .core.flexvc import make_policy
+from .core.link_types import LinkType
+from .core.vc_selection import make_selection
+from .engine import Engine
+from .link import CreditChannel, Link
+from .metrics import MetricsCollector, SimulationResult
+from .router.router import Router
+from .router.saturation import SaturationBoard
+from .routing import make_routing
+from .topology.base import Topology
+from .topology.dragonfly import Dragonfly
+from .topology.flattened_butterfly import FlattenedButterfly2D
+from .traffic import TrafficManager, make_generator
+
+#: A run is flagged as suspected-deadlocked when no packet is delivered for
+#: this many cycles while traffic is resident in the network.
+DEADLOCK_WINDOW_CYCLES = 2500
+
+
+def build_topology(config: SimulationConfig) -> Topology:
+    """Instantiate the topology described by ``config.network``."""
+    net = config.network
+    if net.topology == "dragonfly":
+        return Dragonfly(h=net.h, p=net.p, a=net.a, num_groups=net.num_groups)
+    return FlattenedButterfly2D(k1=net.k1, k2=net.k2, p=net.fb_nodes_per_router)
+
+
+class Simulation:
+    """One complete simulation instance (single seed)."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.engine = Engine()
+        self.topology = build_topology(config)
+        self.metrics = MetricsCollector(
+            num_nodes=self.topology.num_nodes,
+            packet_size=config.traffic.packet_size,
+        )
+        self.policy = make_policy(config.routing.vc_policy, config.arrangement)
+        self.selection = make_selection(config.routing.vc_selection)
+        self.routing = make_routing(
+            self.topology, self.policy, self.selection,
+            config.routing, config.arrangement, self.rng,
+        )
+        self.routers: List[Router] = []
+        self.traffic: Optional[TrafficManager] = None
+        self._build_routers()
+        self._wire_links()
+        self._attach_saturation_boards()
+        self._build_traffic()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_routers(self) -> None:
+        for router_id in range(self.topology.num_routers):
+            router = Router(
+                router_id=router_id,
+                topology=self.topology,
+                engine=self.engine,
+                router_config=self.config.router,
+                routing_config=self.config.routing,
+                arrangement=self.config.arrangement,
+                routing=self.routing,
+                selection=self.selection,
+                rng=self.rng,
+                on_delivery=self._on_delivery,
+            )
+            self.routers.append(router)
+            self.engine.register_router(router)
+
+    def _link_latency(self, link_type: LinkType) -> int:
+        net = self.config.network
+        return net.local_latency if link_type == LinkType.LOCAL else net.global_latency
+
+    def _wire_links(self) -> None:
+        """Create one unidirectional link + credit channel per directed edge."""
+        topology = self.topology
+        for router_id in range(topology.num_routers):
+            upstream = self.routers[router_id]
+            for info in topology.ports(router_id):
+                downstream = self.routers[info.neighbor]
+                back_port = topology.port_to(info.neighbor, router_id)
+                if back_port is None:
+                    raise RuntimeError(
+                        f"asymmetric topology: no return port from {info.neighbor} "
+                        f"to {router_id}"
+                    )
+                latency = self._link_latency(info.link_type)
+                link = Link(
+                    engine=self.engine,
+                    latency=latency,
+                    link_type=info.link_type,
+                    deliver=(
+                        lambda packet, vc, now, target=downstream, port=back_port:
+                        target.receive_network(packet, port, vc, now)
+                    ),
+                    name=f"{router_id}:{info.port}->{info.neighbor}:{back_port}",
+                )
+                upstream.output_ports[info.port].attach_link(link)
+                channel = CreditChannel(self.engine, latency)
+                channel.connect(upstream.output_ports[info.port].credits.credit)
+                downstream.input_ports[back_port].credit_channel = channel
+
+    def _attach_saturation_boards(self) -> None:
+        """Give every Dragonfly group a shared saturation board (Piggyback only)."""
+        if self.config.routing.algorithm != "pb":
+            return
+        if not isinstance(self.topology, Dragonfly):
+            raise ValueError("Piggyback routing is implemented for Dragonfly topologies")
+        topo = self.topology
+        boards: Dict[int, SaturationBoard] = {}
+        for group in range(topo.num_groups):
+            boards[group] = SaturationBoard(
+                positions=topo.a, global_ports=topo.h, classes=2,
+                saturation_factor=self.config.routing.pb_saturation_factor,
+            )
+        for router in self.routers:
+            router.attach_saturation_board(boards[topo.group_of(router.router_id)])
+        self._saturation_boards = boards
+
+    def _build_traffic(self) -> None:
+        generator = make_generator(self.config.traffic, self.topology, self.rng)
+        self.traffic = TrafficManager(
+            generator=generator,
+            routers=self.routers,
+            nodes_per_router=self.topology.nodes_per_router,
+            metrics=self.metrics,
+            reactive=self.config.traffic.reactive,
+        )
+        self.engine.register_traffic(self.traffic)
+
+    def _on_delivery(self, packet, cycle: int) -> None:
+        assert self.traffic is not None
+        self.traffic.on_delivery(packet, cycle)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run warm-up plus measurement and return the steady-state summary."""
+        config = self.config
+        warmup = config.warmup_cycles
+        measure = config.measure_cycles
+        self.metrics.open_window(warmup, warmup + measure)
+        self.engine.run_until(warmup + measure)
+        deadlock = self._deadlock_suspected()
+        return self.metrics.result(
+            offered_load=config.traffic.load, deadlock_suspected=deadlock
+        )
+
+    def _deadlock_suspected(self) -> bool:
+        """No delivery for a long stretch while packets remain in flight."""
+        resident = sum(router.resident_packets for router in self.routers)
+        if resident == 0:
+            return False
+        last = self.metrics.last_delivery_cycle
+        if last < 0:
+            return self.engine.now > DEADLOCK_WINDOW_CYCLES
+        return (self.engine.now - last) > DEADLOCK_WINDOW_CYCLES
+
+    # -- diagnostics -----------------------------------------------------------------
+    def total_resident_packets(self) -> int:
+        return sum(router.resident_packets for router in self.routers)
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience one-shot runner."""
+    return Simulation(config).run()
+
+
+def run_seeds(config: SimulationConfig, seeds: int = 3) -> List[SimulationResult]:
+    """Run the same configuration under several seeds (the paper averages 5)."""
+    return [Simulation(config.with_seed(config.seed + i)).run() for i in range(seeds)]
+
+
+def average_results(results: List[SimulationResult]) -> SimulationResult:
+    """Average accepted load and latency across seeds (other fields from the first)."""
+    if not results:
+        raise ValueError("no results to average")
+    base = results[0]
+    n = len(results)
+    return SimulationResult(
+        offered_load=base.offered_load,
+        accepted_load=sum(r.accepted_load for r in results) / n,
+        average_latency=sum(r.average_latency for r in results) / n,
+        latency_p99=sum(r.latency_p99 for r in results) / n,
+        packets_delivered=sum(r.packets_delivered for r in results) // n,
+        packets_generated=sum(r.packets_generated for r in results) // n,
+        phits_delivered=sum(r.phits_delivered for r in results) // n,
+        measured_cycles=base.measured_cycles,
+        num_nodes=base.num_nodes,
+        misrouted_fraction=sum(r.misrouted_fraction for r in results) / n,
+        deadlock_suspected=any(r.deadlock_suspected for r in results),
+    )

@@ -1,0 +1,26 @@
+"""Low-diameter topologies: Dragonfly and Flattened Butterfly."""
+
+from .base import PortInfo, Topology
+from .dragonfly import Dragonfly
+from .flattened_butterfly import FlattenedButterfly2D
+from .graph_utils import (
+    bfs_distances,
+    degree_histogram,
+    is_connected,
+    measured_diameter,
+    to_networkx,
+    verify_bidirectional,
+)
+
+__all__ = [
+    "Topology",
+    "PortInfo",
+    "Dragonfly",
+    "FlattenedButterfly2D",
+    "bfs_distances",
+    "degree_histogram",
+    "is_connected",
+    "measured_diameter",
+    "to_networkx",
+    "verify_bidirectional",
+]

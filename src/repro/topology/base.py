@@ -1,0 +1,123 @@
+"""Topology interface shared by all low-diameter networks in this package."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..core.link_types import HopSequence, LinkType
+
+
+@dataclass(frozen=True)
+class PortInfo:
+    """Description of a router network port."""
+
+    port: int
+    neighbor: int
+    link_type: LinkType
+
+
+class Topology(ABC):
+    """Abstract direct-network topology.
+
+    A topology knows its routers, the nodes attached to each router, the
+    router-to-router links (with their :class:`LinkType`), and how to compute
+    minimal next hops and minimal hop-type sequences — everything routing
+    algorithms and VC policies need.
+
+    Router network ports are numbered ``0 .. radix-1`` per router; injection
+    and ejection are handled by the router model, not by the topology.
+    """
+
+    # -- size ----------------------------------------------------------------
+    @property
+    @abstractmethod
+    def num_routers(self) -> int:
+        """Number of routers in the network."""
+
+    @property
+    @abstractmethod
+    def nodes_per_router(self) -> int:
+        """Number of compute nodes attached to each router (``p``)."""
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_routers * self.nodes_per_router
+
+    @property
+    @abstractmethod
+    def radix(self) -> int:
+        """Number of network (router-to-router) ports per router."""
+
+    @property
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum minimal path length, in router-to-router hops."""
+
+    @property
+    @abstractmethod
+    def has_link_type_restrictions(self) -> bool:
+        """True when links are typed and traversed in a fixed order (Dragonfly)."""
+
+    # -- node/router mapping ---------------------------------------------------
+    def router_of_node(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_router
+
+    def nodes_of_router(self, router: int) -> range:
+        self._check_router(router)
+        p = self.nodes_per_router
+        return range(router * p, (router + 1) * p)
+
+    # -- connectivity -----------------------------------------------------------
+    @abstractmethod
+    def ports(self, router: int) -> Sequence[PortInfo]:
+        """All network ports of ``router``."""
+
+    @abstractmethod
+    def port_to(self, router: int, neighbor: int) -> Optional[int]:
+        """Port of ``router`` directly connected to ``neighbor`` (None if not adjacent)."""
+
+    @abstractmethod
+    def link_type(self, router: int, port: int) -> LinkType:
+        """Link type of network port ``port`` of ``router``."""
+
+    @abstractmethod
+    def neighbor(self, router: int, port: int) -> int:
+        """Router at the far end of ``port``."""
+
+    def neighbors(self, router: int) -> Iterator[int]:
+        for info in self.ports(router):
+            yield info.neighbor
+
+    # -- routing helpers ---------------------------------------------------------
+    @abstractmethod
+    def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
+        """First port of a minimal path ``src_router -> dst_router``.
+
+        Returns ``None`` when source and destination are the same router.
+        For topologies with link-type restrictions the returned hop respects
+        the canonical traversal order (e.g. l-g-l in a Dragonfly).
+        """
+
+    @abstractmethod
+    def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
+        """Hop-type sequence of the minimal path ``src_router -> dst_router``."""
+
+    def min_distance(self, src_router: int, dst_router: int) -> int:
+        return len(self.min_hop_sequence(src_router, dst_router))
+
+    # -- misc ----------------------------------------------------------------------
+    def link_latency(self, link_type: LinkType, local: int, global_: int) -> int:
+        """Latency of a link of ``link_type`` given per-type latencies."""
+        return local if link_type == LinkType.LOCAL else global_
+
+    # -- validation helpers ----------------------------------------------------------
+    def _check_router(self, router: int) -> None:
+        if not 0 <= router < self.num_routers:
+            raise ValueError(f"router {router} out of range [0, {self.num_routers})")
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")

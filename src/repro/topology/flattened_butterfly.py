@@ -1,0 +1,158 @@
+"""2D Flattened Butterfly / HyperX-style topology.
+
+Routers form a ``k1 x k2`` grid; within each row and each column routers are
+fully connected.  Under dimension-order routing (DOR) packets first correct
+dimension 0 and then dimension 1, which gives the topology a diameter of 2 and
+link-type restrictions analogous to the Dragonfly's l-g-l order: dimension-0
+links are mapped to :class:`LinkType.LOCAL` and dimension-1 links to
+:class:`LinkType.GLOBAL`.
+
+Setting ``k2 = 1`` degenerates into a single fully-connected dimension — a
+convenient stand-in for a *generic diameter-1/2 network without link-type
+restrictions* (all links LOCAL), which is how the paper's Tables I and II and
+Figures 1, 3 and 4 are framed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.link_types import HopSequence, LinkType
+from .base import PortInfo, Topology
+
+
+class FlattenedButterfly2D(Topology):
+    """Fully-connected 2D Flattened Butterfly (HyperX with S=1).
+
+    Parameters
+    ----------
+    k1, k2:
+        Routers per dimension.  ``k2 = 1`` yields a single fully-connected
+        dimension (a complete graph of ``k1`` routers, diameter 1).
+    p:
+        Compute nodes per router.
+    """
+
+    def __init__(self, k1: int, k2: int, p: int) -> None:
+        if k1 < 2:
+            raise ValueError("k1 must be >= 2")
+        if k2 < 1:
+            raise ValueError("k2 must be >= 1")
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        self.k1 = k1
+        self.k2 = k2
+        self.p = p
+        self._dim0_ports = k1 - 1
+        self._dim1_ports = k2 - 1
+
+    # -- size ------------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self.k1 * self.k2
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def radix(self) -> int:
+        return self._dim0_ports + self._dim1_ports
+
+    @property
+    def diameter(self) -> int:
+        return (1 if self.k1 > 1 else 0) + (1 if self.k2 > 1 else 0)
+
+    @property
+    def has_link_type_restrictions(self) -> bool:
+        # Under DOR the two dimensions are traversed in a fixed order.
+        return self.k2 > 1
+
+    # -- coordinates --------------------------------------------------------------
+    def coords(self, router: int) -> tuple[int, int]:
+        self._check_router(router)
+        return router % self.k1, router // self.k1
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.k1 and 0 <= y < self.k2):
+            raise ValueError(f"coordinates ({x}, {y}) out of range")
+        return y * self.k1 + x
+
+    # -- port layout ----------------------------------------------------------------
+    # ports [0, k1-2]            : dimension-0 (LOCAL) links
+    # ports [k1-1, k1-1+k2-2]    : dimension-1 (GLOBAL) links
+    def link_type(self, router: int, port: int) -> LinkType:
+        self._check_port(port)
+        return LinkType.LOCAL if port < self._dim0_ports else LinkType.GLOBAL
+
+    def _dim0_port_target(self, x: int, port: int) -> int:
+        return port if port < x else port + 1
+
+    def _dim1_port_target(self, y: int, port: int) -> int:
+        rel = port - self._dim0_ports
+        return rel if rel < y else rel + 1
+
+    def ports(self, router: int) -> Sequence[PortInfo]:
+        x, y = self.coords(router)
+        infos: list[PortInfo] = []
+        for port in range(self._dim0_ports):
+            tx = self._dim0_port_target(x, port)
+            infos.append(PortInfo(port=port, neighbor=self.router_at(tx, y),
+                                  link_type=LinkType.LOCAL))
+        for port in range(self._dim0_ports, self.radix):
+            ty = self._dim1_port_target(y, port)
+            infos.append(PortInfo(port=port, neighbor=self.router_at(x, ty),
+                                  link_type=LinkType.GLOBAL))
+        return infos
+
+    def neighbor(self, router: int, port: int) -> int:
+        x, y = self.coords(router)
+        self._check_port(port)
+        if port < self._dim0_ports:
+            return self.router_at(self._dim0_port_target(x, port), y)
+        return self.router_at(x, self._dim1_port_target(y, port))
+
+    def port_to(self, router: int, neighbor: int) -> Optional[int]:
+        if router == neighbor:
+            return None
+        x, y = self.coords(router)
+        nx, ny = self.coords(neighbor)
+        if y == ny and x != nx:
+            return nx if nx < x else nx - 1
+        if x == nx and y != ny:
+            rel = ny if ny < y else ny - 1
+            return self._dim0_ports + rel
+        return None
+
+    # -- minimal (DOR) routing ----------------------------------------------------------
+    def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
+        if src_router == dst_router:
+            return None
+        x, y = self.coords(src_router)
+        dx, dy = self.coords(dst_router)
+        if x != dx:
+            return dx if dx < x else dx - 1
+        rel = dy if dy < y else dy - 1
+        return self._dim0_ports + rel
+
+    def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
+        if src_router == dst_router:
+            return ()
+        x, y = self.coords(src_router)
+        dx, dy = self.coords(dst_router)
+        seq: list[LinkType] = []
+        if x != dx:
+            seq.append(LinkType.LOCAL)
+        if y != dy:
+            seq.append(LinkType.GLOBAL)
+        return tuple(seq)
+
+    def describe(self) -> str:
+        return (
+            f"FlattenedButterfly2D(k1={self.k1}, k2={self.k2}, p={self.p}): "
+            f"{self.num_routers} routers, {self.num_nodes} nodes, radix {self.radix}"
+        )
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.radix:
+            raise ValueError(f"port {port} out of range [0, {self.radix})")

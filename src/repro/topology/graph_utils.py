@@ -1,0 +1,95 @@
+"""Graph-level utilities built on top of :class:`repro.topology.base.Topology`.
+
+These helpers are primarily used by tests and examples to validate topology
+constructions (connectivity, diameter, degree regularity) and to export the
+router graph for external analysis.  They use :mod:`networkx` when available
+but degrade to pure-Python BFS otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from .base import Topology
+
+try:  # pragma: no cover - exercised implicitly
+    import networkx as _nx
+except ImportError:  # pragma: no cover
+    _nx = None
+
+
+def to_networkx(topology: Topology):
+    """Export the router-to-router graph as a :class:`networkx.Graph`.
+
+    Edges carry a ``link_type`` attribute.  Raises :class:`ImportError` when
+    networkx is not installed.
+    """
+    if _nx is None:  # pragma: no cover
+        raise ImportError("networkx is required for to_networkx()")
+    graph = _nx.Graph()
+    graph.add_nodes_from(range(topology.num_routers))
+    for router in range(topology.num_routers):
+        for info in topology.ports(router):
+            graph.add_edge(router, info.neighbor, link_type=info.link_type)
+    return graph
+
+
+def bfs_distances(topology: Topology, source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable router (plain BFS)."""
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for info in topology.ports(current):
+            if info.neighbor not in dist:
+                dist[info.neighbor] = dist[current] + 1
+                frontier.append(info.neighbor)
+    return dist
+
+
+def is_connected(topology: Topology) -> bool:
+    """True when every router is reachable from router 0."""
+    return len(bfs_distances(topology, 0)) == topology.num_routers
+
+
+def measured_diameter(topology: Topology, sample_sources: Optional[int] = None) -> int:
+    """Graph diameter measured by BFS.
+
+    ``sample_sources`` limits the number of BFS roots (evenly spaced) for large
+    networks; ``None`` measures exactly.
+    """
+    n = topology.num_routers
+    if sample_sources is None or sample_sources >= n:
+        sources = range(n)
+    else:
+        step = max(1, n // sample_sources)
+        sources = range(0, n, step)
+    best = 0
+    for src in sources:
+        dist = bfs_distances(topology, src)
+        if len(dist) != n:
+            raise ValueError("topology is not connected")
+        best = max(best, max(dist.values()))
+    return best
+
+
+def degree_histogram(topology: Topology) -> Dict[int, int]:
+    """Map of router degree -> count of routers with that degree."""
+    histogram: Dict[int, int] = {}
+    for router in range(topology.num_routers):
+        degree = len(topology.ports(router))
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def verify_bidirectional(topology: Topology) -> bool:
+    """Check that every link is matched by a reverse link of the same type."""
+    for router in range(topology.num_routers):
+        for info in topology.ports(router):
+            back = topology.port_to(info.neighbor, router)
+            if back is None:
+                return False
+            if topology.link_type(info.neighbor, back) != info.link_type:
+                return False
+    return True

@@ -1,0 +1,65 @@
+"""Traffic generation interface.
+
+A traffic generator produces packets for every node each cycle; the
+:class:`TrafficManager` (in :mod:`repro.traffic.reactive`) routes them to the
+source routers' injection queues and, for reactive patterns, produces replies
+when requests are consumed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+from ..core.link_types import MessageClass
+from ..packet import Packet
+
+
+class TrafficGenerator(ABC):
+    """Per-node synthetic traffic source."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        load: float,
+        packet_size: int,
+        rng: random.Random,
+    ) -> None:
+        if num_nodes < 2:
+            raise ValueError("traffic generation requires at least two nodes")
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be within [0, 1] phits/node/cycle")
+        if packet_size < 1:
+            raise ValueError("packet_size must be >= 1")
+        self.num_nodes = num_nodes
+        self.load = load
+        self.packet_size = packet_size
+        self.rng = rng
+        #: per-node injection probability per cycle so that the average offered
+        #: load equals ``load`` phits/node/cycle.
+        self.injection_probability = load / packet_size
+
+    @abstractmethod
+    def destination_for(self, node: int, cycle: int) -> Optional[int]:
+        """Destination node for a packet generated at ``node``, or None to skip."""
+
+    def should_generate(self, node: int, cycle: int) -> bool:
+        """Bernoulli injection process (overridden by the bursty generator)."""
+        return self.rng.random() < self.injection_probability
+
+    def generate(self, cycle: int) -> Iterator[Packet]:
+        """Packets generated network-wide during ``cycle``."""
+        for node in range(self.num_nodes):
+            if not self.should_generate(node, cycle):
+                continue
+            destination = self.destination_for(node, cycle)
+            if destination is None or destination == node:
+                continue
+            yield Packet(
+                src_node=node,
+                dst_node=destination,
+                size_phits=self.packet_size,
+                msg_class=MessageClass.REQUEST,
+                created_at=cycle,
+            )

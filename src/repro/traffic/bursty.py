@@ -1,0 +1,84 @@
+"""BURSTY-UN: two-state Markov (ON/OFF) burst traffic (Section IV-B).
+
+Each node is an independent two-state Markov chain.  In the ON state the node
+generates packets with a Bernoulli process towards a destination that stays
+fixed for the whole burst; in the OFF state it generates nothing.  The
+transition probabilities are derived from the requested average load and the
+average burst length (5 packets in the paper), following the standard ON/OFF
+fitting used for data-centre traffic models.
+
+Derivation
+----------
+Let ``r`` be the per-cycle packet generation probability while ON (we use the
+maximum injection rate, one packet every ``packet_size`` cycles, so bursts are
+back-to-back packets), ``L`` the average burst length in packets and ``rho``
+the required average packet rate.  A burst then lasts ``L / r`` cycles on
+average, so the ON->OFF probability per ON cycle is ``p_off = r / L``.  The
+fraction of time spent ON must satisfy ``pi_on * r = rho``, and for a two
+state chain ``pi_on = p_on / (p_on + p_off)``, giving
+``p_on = p_off * rho / (r - rho)`` (saturated to 1 when ``rho >= r``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .base import TrafficGenerator
+
+
+class BurstyUniformTraffic(TrafficGenerator):
+    """ON/OFF Markov-modulated uniform traffic."""
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        load: float,
+        packet_size: int,
+        rng: random.Random,
+        burst_length: float = 5.0,
+    ) -> None:
+        super().__init__(num_nodes, load, packet_size, rng)
+        if burst_length < 1.0:
+            raise ValueError("burst_length must be >= 1 packet")
+        self.burst_length = burst_length
+        #: packet generation probability per cycle while ON (back-to-back packets).
+        self.on_rate = 1.0 / packet_size
+        rho = self.injection_probability  # average packets/node/cycle
+        self.p_off = self.on_rate / burst_length
+        if rho >= self.on_rate:
+            self.p_on = 1.0
+        else:
+            self.p_on = self.p_off * rho / (self.on_rate - rho)
+            self.p_on = min(1.0, self.p_on)
+        self._state_on = [False] * num_nodes
+        self._burst_destination: list[Optional[int]] = [None] * num_nodes
+
+    # -- Markov chain ------------------------------------------------------------
+    def _advance_state(self, node: int) -> None:
+        if self._state_on[node]:
+            if self.rng.random() < self.p_off:
+                self._state_on[node] = False
+                self._burst_destination[node] = None
+        else:
+            if self.rng.random() < self.p_on:
+                self._state_on[node] = True
+                self._burst_destination[node] = self._pick_destination(node)
+
+    def _pick_destination(self, node: int) -> int:
+        destination = self.rng.randrange(self.num_nodes - 1)
+        if destination >= node:
+            destination += 1
+        return destination
+
+    # -- TrafficGenerator interface ----------------------------------------------------
+    def should_generate(self, node: int, cycle: int) -> bool:
+        self._advance_state(node)
+        if not self._state_on[node]:
+            return False
+        return self.rng.random() < self.on_rate
+
+    def destination_for(self, node: int, cycle: int) -> Optional[int]:
+        return self._burst_destination[node]

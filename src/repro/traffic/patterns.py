@@ -1,0 +1,89 @@
+"""Bernoulli traffic patterns: uniform (UN) and adversarial (ADV+i).
+
+* **UN** — every generated packet targets a uniformly random node other than
+  the source.  Minimal routing is optimal for this pattern.
+* **ADV** — every packet targets a random node in the group ``offset`` groups
+  ahead of the source's group (Section IV-B uses offset 1).  Under minimal
+  routing all of a group's traffic funnels through its single global link to
+  the next group, so Valiant (or adaptive) routing is required.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..topology.dragonfly import Dragonfly
+from .base import TrafficGenerator
+
+
+class UniformTraffic(TrafficGenerator):
+    """Uniform random destinations (Bernoulli injection)."""
+
+    name = "uniform"
+
+    def destination_for(self, node: int, cycle: int) -> Optional[int]:
+        destination = self.rng.randrange(self.num_nodes - 1)
+        if destination >= node:
+            destination += 1
+        return destination
+
+
+class AdversarialTraffic(TrafficGenerator):
+    """ADV+offset traffic for Dragonfly networks (random node in group g+offset)."""
+
+    name = "adversarial"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        load: float,
+        packet_size: int,
+        rng: random.Random,
+        topology: Dragonfly,
+        offset: int = 1,
+    ) -> None:
+        super().__init__(num_nodes, load, packet_size, rng)
+        if not isinstance(topology, Dragonfly):
+            raise TypeError("adversarial (+offset group) traffic requires a Dragonfly topology")
+        if offset < 1 or offset >= topology.num_groups:
+            raise ValueError(
+                f"offset must be in [1, num_groups), got {offset} "
+                f"with {topology.num_groups} groups"
+            )
+        self.topology = topology
+        self.offset = offset
+        self._nodes_per_group = topology.a * topology.p
+
+    def destination_for(self, node: int, cycle: int) -> Optional[int]:
+        source_router = self.topology.router_of_node(node)
+        source_group = self.topology.group_of(source_router)
+        target_group = (source_group + self.offset) % self.topology.num_groups
+        first_node = target_group * self._nodes_per_group
+        return first_node + self.rng.randrange(self._nodes_per_group)
+
+
+def permutation_destinations(num_nodes: int, rng: random.Random) -> list[int]:
+    """Random fixed permutation (a useful extra pattern for examples/tests).
+
+    Every node sends to a single fixed partner and no two nodes share a
+    destination; re-rolled until it is a derangement (no self-loops).
+    """
+    while True:
+        perm = list(range(num_nodes))
+        rng.shuffle(perm)
+        if all(perm[i] != i for i in range(num_nodes)):
+            return perm
+
+
+class PermutationTraffic(TrafficGenerator):
+    """Fixed random permutation traffic (each node has one partner)."""
+
+    name = "permutation"
+
+    def __init__(self, num_nodes, load, packet_size, rng):
+        super().__init__(num_nodes, load, packet_size, rng)
+        self._partners = permutation_destinations(num_nodes, rng)
+
+    def destination_for(self, node: int, cycle: int) -> Optional[int]:
+        return self._partners[node]

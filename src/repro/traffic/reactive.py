@@ -1,0 +1,77 @@
+"""Traffic manager: injection plumbing plus reactive (request-reply) traffic.
+
+The :class:`TrafficManager` sits between the traffic generators and the
+routers.  Every cycle it asks the generator for new request packets and drops
+them into the source routers' injection queues.  When ``reactive`` is enabled
+(Section IV-B), every consumed request triggers a reply of the same size from
+the destination node back to the original source, mirroring the
+request-reply virtual networks of Cray Cascade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.link_types import MessageClass
+from ..metrics import MetricsCollector
+from ..packet import Packet
+from .base import TrafficGenerator
+
+
+class TrafficManager:
+    """Feeds routers with generated traffic and handles replies and metrics."""
+
+    def __init__(
+        self,
+        generator: TrafficGenerator,
+        routers: Sequence[object],
+        nodes_per_router: int,
+        metrics: MetricsCollector,
+        reactive: bool = False,
+    ) -> None:
+        self.generator = generator
+        self.routers = list(routers)
+        self.nodes_per_router = nodes_per_router
+        self.metrics = metrics
+        self.reactive = reactive
+        #: hook invoked on every delivery, after metrics/replies are handled.
+        self.delivery_hook: Optional[Callable[[Packet, int], None]] = None
+        self.replies_generated = 0
+        #: outstanding requests by packet id (reactive mode diagnostics).
+        self._outstanding: Dict[int, Packet] = {}
+
+    # -- generation -------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Generate this cycle's request packets (called by the engine)."""
+        for packet in self.generator.generate(cycle):
+            self._enqueue(packet, cycle)
+
+    def _enqueue(self, packet: Packet, cycle: int) -> None:
+        router_index = packet.src_node // self.nodes_per_router
+        self.metrics.record_generation(packet, cycle)
+        self.routers[router_index].enqueue_source(packet, cycle)
+        if self.reactive and packet.msg_class == MessageClass.REQUEST:
+            self._outstanding[packet.pid] = packet
+
+    # -- delivery ----------------------------------------------------------------------
+    def on_delivery(self, packet: Packet, cycle: int) -> None:
+        """Router callback: record statistics and spawn replies."""
+        self.metrics.record_delivery(packet, cycle)
+        if self.reactive and packet.msg_class == MessageClass.REQUEST:
+            self._outstanding.pop(packet.pid, None)
+            reply = Packet(
+                src_node=packet.dst_node,
+                dst_node=packet.src_node,
+                size_phits=packet.size_phits,
+                msg_class=MessageClass.REPLY,
+                created_at=cycle,
+                in_reply_to=packet.pid,
+            )
+            self.replies_generated += 1
+            self._enqueue(reply, cycle)
+        if self.delivery_hook is not None:
+            self.delivery_hook(packet, cycle)
+
+    # -- diagnostics --------------------------------------------------------------------------
+    def outstanding_requests(self) -> int:
+        return len(self._outstanding)

@@ -1,0 +1,21 @@
+"""Test configuration: make the src/ layout importable without installation."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - exercised only in un-installed checkouts
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import pytest  # noqa: E402
+
+from repro.config import SimulationConfig  # noqa: E402
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A very small, fast default simulation configuration."""
+    return SimulationConfig(warmup_cycles=200, measure_cycles=400)

@@ -1,0 +1,68 @@
+"""Unit tests for VC arrangements."""
+
+import pytest
+
+from repro.core.arrangement import VcArrangement
+from repro.core.link_types import LinkType, MessageClass
+
+
+class TestSingleClass:
+    def test_totals(self):
+        arr = VcArrangement.single_class(4, 2)
+        assert arr.total_local == 4
+        assert arr.total_global == 2
+        assert not arr.is_reactive
+
+    def test_label(self):
+        assert VcArrangement.single_class(4, 2).label() == "4/2"
+
+    def test_usable_range_request(self):
+        arr = VcArrangement.single_class(4, 2)
+        assert list(arr.usable_range(LinkType.LOCAL, MessageClass.REQUEST)) == [0, 1, 2, 3]
+        assert list(arr.usable_range(LinkType.GLOBAL, MessageClass.REQUEST)) == [0, 1]
+
+    def test_ceiling(self):
+        arr = VcArrangement.single_class(3, 2)
+        assert arr.class_ceiling(LinkType.LOCAL, MessageClass.REQUEST) == 3
+        assert arr.class_ceiling(LinkType.GLOBAL, MessageClass.REQUEST) == 2
+
+
+class TestRequestReply:
+    def test_totals(self):
+        arr = VcArrangement.request_reply((4, 3), (2, 1))
+        assert arr.total_local == 6
+        assert arr.total_global == 4
+        assert arr.is_reactive
+
+    def test_label(self):
+        arr = VcArrangement.request_reply((3, 2), (2, 1))
+        assert arr.label() == "5/3 (3/2+2/1)"
+
+    def test_requests_limited_to_prefix(self):
+        arr = VcArrangement.request_reply((2, 1), (2, 1))
+        assert list(arr.usable_range(LinkType.LOCAL, MessageClass.REQUEST)) == [0, 1]
+
+    def test_replies_may_use_everything(self):
+        arr = VcArrangement.request_reply((2, 1), (2, 1))
+        assert list(arr.usable_range(LinkType.LOCAL, MessageClass.REPLY)) == [0, 1, 2, 3]
+        assert arr.class_ceiling(LinkType.GLOBAL, MessageClass.REPLY) == 2
+
+    def test_reply_count(self):
+        arr = VcArrangement.request_reply((4, 2), (2, 1))
+        assert arr.reply_count(LinkType.LOCAL) == 2
+        assert arr.reply_count(LinkType.GLOBAL) == 1
+
+
+class TestValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VcArrangement(request_local=-1, request_global=1)
+
+    def test_zero_local_rejected(self):
+        with pytest.raises(ValueError):
+            VcArrangement(request_local=0, request_global=1)
+
+    def test_zero_global_allowed(self):
+        # Generic diameter-2 networks have no global links at all.
+        arr = VcArrangement.single_class(3, 0)
+        assert arr.total_global == 0

@@ -1,0 +1,173 @@
+"""Unit and property-based tests for buffer organizations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import DamqBuffer, StaticallyPartitionedBuffer
+
+
+class TestStaticallyPartitioned:
+    def test_initial_state(self):
+        buf = StaticallyPartitionedBuffer(3, 32)
+        assert buf.total_capacity == 96
+        assert buf.free_for(0) == 32
+        assert buf.total_occupancy() == 0
+
+    def test_per_vc_capacities(self):
+        buf = StaticallyPartitionedBuffer(2, [16, 64])
+        assert buf.capacity_for(0) == 16
+        assert buf.capacity_for(1) == 64
+
+    def test_allocate_release_cycle(self):
+        buf = StaticallyPartitionedBuffer(2, 32)
+        buf.allocate(0, 8)
+        assert buf.occupancy(0) == 8
+        assert buf.free_for(0) == 24
+        assert buf.free_for(1) == 32
+        buf.release(0, 8)
+        assert buf.occupancy(0) == 0
+
+    def test_overflow_rejected(self):
+        buf = StaticallyPartitionedBuffer(1, 16)
+        buf.allocate(0, 16)
+        with pytest.raises(ValueError):
+            buf.allocate(0, 1)
+
+    def test_underflow_rejected(self):
+        buf = StaticallyPartitionedBuffer(1, 16)
+        with pytest.raises(ValueError):
+            buf.release(0, 1)
+
+    def test_vcs_are_isolated(self):
+        buf = StaticallyPartitionedBuffer(2, 16)
+        buf.allocate(0, 16)
+        assert buf.can_accept(1, 16)
+        assert not buf.can_accept(0, 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StaticallyPartitionedBuffer(0, 16)
+        with pytest.raises(ValueError):
+            StaticallyPartitionedBuffer(2, [16])
+        with pytest.raises(ValueError):
+            StaticallyPartitionedBuffer(1, 0)
+
+
+class TestDamq:
+    def test_private_plus_shared(self):
+        buf = DamqBuffer(2, total_capacity=64, private_per_vc=16)
+        assert buf.shared_capacity == 32
+        assert buf.free_for(0) == 16 + 32
+
+    def test_from_fraction_matches_paper_default(self):
+        # 25% shared, 75% private (Table V).
+        buf = DamqBuffer.from_fraction(2, 128, 0.75)
+        assert buf.private_capacity(0) == 48
+        assert buf.shared_capacity == 128 - 96
+
+    def test_private_consumed_before_shared(self):
+        buf = DamqBuffer(2, 64, 16)
+        buf.allocate(0, 16)
+        assert buf.shared_free() == 32
+        buf.allocate(0, 8)
+        assert buf.shared_free() == 24
+        assert buf.free_for(1) == 16 + 24
+
+    def test_one_vc_can_hog_the_shared_pool(self):
+        buf = DamqBuffer(2, 64, 0)
+        buf.allocate(0, 64)
+        assert buf.free_for(1) == 0
+
+    def test_private_reservation_protects_other_vcs(self):
+        buf = DamqBuffer(2, 64, 16)
+        buf.allocate(0, 48)  # 16 private + 32 shared
+        assert buf.free_for(0) == 0
+        assert buf.free_for(1) == 16
+
+    def test_release_restores_shared_space(self):
+        buf = DamqBuffer(2, 64, 16)
+        buf.allocate(0, 48)
+        buf.release(0, 32)
+        assert buf.occupancy(0) == 16
+        assert buf.shared_free() == 32
+
+    def test_overflow_rejected(self):
+        buf = DamqBuffer(2, 32, 8)
+        buf.allocate(0, 24)
+        with pytest.raises(ValueError):
+            buf.allocate(1, 16)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DamqBuffer(2, 16, 16)  # private exceeds total
+        with pytest.raises(ValueError):
+            DamqBuffer.from_fraction(2, 64, 1.5)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+operations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),  # vc
+              st.integers(min_value=1, max_value=16)),  # packet size
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_static_buffer_never_exceeds_capacity(ops):
+    buf = StaticallyPartitionedBuffer(3, 32)
+    resident = []
+    for vc, size in ops:
+        if buf.can_accept(vc, size):
+            buf.allocate(vc, size)
+            resident.append((vc, size))
+        elif resident:
+            rvc, rsize = resident.pop(0)
+            buf.release(rvc, rsize)
+    for vc in range(3):
+        assert 0 <= buf.occupancy(vc) <= buf.capacity_for(vc)
+    assert buf.total_occupancy() == sum(size for _, size in resident)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations,
+       private=st.integers(min_value=0, max_value=20))
+def test_damq_shared_pool_never_oversubscribed(ops, private):
+    buf = DamqBuffer(3, total_capacity=96, private_per_vc=private)
+    resident = []
+    for vc, size in ops:
+        if buf.can_accept(vc, size):
+            buf.allocate(vc, size)
+            resident.append((vc, size))
+        elif resident:
+            rvc, rsize = resident.pop(0)
+            buf.release(rvc, rsize)
+    assert buf.shared_free() >= 0
+    assert buf.total_occupancy() <= buf.total_capacity
+    # Releasing everything must restore the empty state exactly.
+    for vc, size in resident:
+        buf.release(vc, size)
+    assert buf.total_occupancy() == 0
+    assert buf.shared_free() == buf.shared_capacity
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=10))
+def test_damq_free_space_is_monotone_in_private_reservation(sizes):
+    """A VC's guaranteed free space never shrinks when its private share grows."""
+    low = DamqBuffer(2, 64, 8)
+    high = DamqBuffer(2, 64, 16)
+    for size in sizes:
+        if low.can_accept(0, size):
+            low.allocate(0, size)
+        if high.can_accept(0, size):
+            high.allocate(0, size)
+    # VC 1 is idle in both buffers: its guaranteed (private) space is larger
+    # in the buffer with the bigger reservation.
+    assert high.private_capacity(1) >= low.private_capacity(1)
+    assert high.free_for(1) >= high.private_capacity(1)
+    assert low.free_for(1) >= low.private_capacity(1)

@@ -1,0 +1,168 @@
+"""Configuration validation, metrics accounting and the engine event wheel."""
+
+import pytest
+
+from repro.config import (
+    NetworkConfig,
+    RouterConfig,
+    RoutingConfig,
+    SimulationConfig,
+    TrafficConfig,
+)
+from repro.core.arrangement import VcArrangement
+from repro.engine import Engine
+from repro.metrics import MetricsCollector
+from repro.packet import Packet, RouteKind
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        SimulationConfig().validate()
+
+    def test_baseline_valiant_needs_4_2(self):
+        config = SimulationConfig(
+            routing=RoutingConfig(algorithm="val"),
+            arrangement=VcArrangement.single_class(2, 1),
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_flexvc_valiant_allowed_with_3_2(self):
+        SimulationConfig(
+            routing=RoutingConfig(algorithm="val", vc_policy="flexvc"),
+            arrangement=VcArrangement.single_class(3, 2),
+        ).validate()
+
+    def test_flexvc_valiant_rejected_with_2_1(self):
+        config = SimulationConfig(
+            routing=RoutingConfig(algorithm="val", vc_policy="flexvc"),
+            arrangement=VcArrangement.single_class(2, 1),
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_reactive_requires_reply_vcs(self):
+        config = SimulationConfig(
+            traffic=TrafficConfig(reactive=True),
+            arrangement=VcArrangement.single_class(4, 2),
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_pb_baseline_reactive_needs_reply_vcs_for_val(self):
+        config = SimulationConfig(
+            routing=RoutingConfig(algorithm="pb"),
+            traffic=TrafficConfig(reactive=True),
+            arrangement=VcArrangement.request_reply((4, 2), (2, 1)),
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(topology="torus").validate()
+        with pytest.raises(ValueError):
+            RouterConfig(buffer_organization="circular").validate()
+        with pytest.raises(ValueError):
+            RoutingConfig(algorithm="ugal").validate()
+        with pytest.raises(ValueError):
+            TrafficConfig(load=2.0).validate()
+
+    def test_with_load_and_with_seed(self):
+        config = SimulationConfig()
+        assert config.with_load(0.9).traffic.load == 0.9
+        assert config.with_seed(7).seed == 7
+        # the originals are untouched (frozen dataclasses)
+        assert config.traffic.load == 0.5 and config.seed == 1
+
+    def test_port_capacity_override(self):
+        router = RouterConfig(local_port_phits=64)
+        assert router.port_capacity(num_vcs=4, is_global=False) == 64
+        assert router.vc_capacity(num_vcs=4, is_global=False) == 16
+        default = RouterConfig()
+        assert default.port_capacity(num_vcs=2, is_global=False) == 64
+
+
+class TestMetrics:
+    def _collector(self):
+        collector = MetricsCollector(num_nodes=10, packet_size=8)
+        collector.open_window(100, 200)
+        return collector
+
+    def test_throughput_counts_only_window_deliveries(self):
+        collector = self._collector()
+        inside = Packet(src_node=0, dst_node=1, size_phits=8, created_at=120)
+        outside = Packet(src_node=0, dst_node=1, size_phits=8, created_at=10)
+        collector.record_generation(inside, 120)
+        collector.record_generation(outside, 10)
+        inside.delivered_at = 150
+        outside.delivered_at = 90
+        collector.record_delivery(outside, 90)
+        collector.record_delivery(inside, 150)
+        result = collector.result(offered_load=0.5)
+        assert result.phits_delivered == 8
+        assert result.accepted_load == pytest.approx(8 / (10 * 100))
+
+    def test_latency_only_for_measured_packets(self):
+        collector = self._collector()
+        warmup_packet = Packet(src_node=0, dst_node=1, size_phits=8, created_at=50)
+        collector.record_generation(warmup_packet, 50)
+        warmup_packet.delivered_at = 130
+        collector.record_delivery(warmup_packet, 130)
+        assert collector.latencies == []
+
+    def test_misrouted_fraction(self):
+        collector = self._collector()
+        for kind in (RouteKind.MINIMAL, RouteKind.VALIANT):
+            packet = Packet(src_node=0, dst_node=1, size_phits=8, created_at=110)
+            packet.route_kind = kind
+            collector.record_generation(packet, 110)
+            packet.delivered_at = 160
+            collector.record_delivery(packet, 160)
+        result = collector.result(offered_load=0.5)
+        assert result.misrouted_fraction == pytest.approx(0.5)
+
+    def test_window_required(self):
+        collector = MetricsCollector(num_nodes=4, packet_size=8)
+        with pytest.raises(ValueError):
+            collector.result(offered_load=0.1)
+
+
+class TestEngine:
+    def test_events_fire_at_their_cycle(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3, lambda t: fired.append(("a", t)))
+        engine.schedule(1, lambda t: fired.append(("b", t)))
+        engine.run(5)
+        assert fired == [("b", 1), ("a", 3)]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = Engine()
+        engine.run(5)
+        with pytest.raises(ValueError):
+            engine.schedule(2, lambda t: None)
+
+    def test_run_until(self):
+        engine = Engine()
+        engine.run_until(42)
+        assert engine.now == 42
+
+    def test_registered_router_stepped_only_when_busy(self):
+        class Stepper:
+            def __init__(self, busy):
+                self.busy = busy
+                self.steps = 0
+
+            def has_work(self):
+                return self.busy
+
+            def step(self, now):
+                self.steps += 1
+
+        busy, idle = Stepper(True), Stepper(False)
+        engine = Engine()
+        engine.register_router(busy)
+        engine.register_router(idle)
+        engine.run(10)
+        assert busy.steps == 10 and idle.steps == 0

@@ -1,0 +1,203 @@
+"""Credit tracking, min/non-min ledgers, allocator and port behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import StaticallyPartitionedBuffer
+from repro.core.link_types import LinkType, MessageClass
+from repro.core.mincred import PortOccupancyLedger, SplitOccupancy
+from repro.packet import Packet
+from repro.router.allocator import Request, SeparableAllocator
+from repro.router.credits import CreditTracker
+from repro.router.ports import EjectionPort, InputPort
+from repro.router.saturation import SaturationBoard
+
+
+def make_packet(size=8, src=0, dst=1):
+    return Packet(src_node=src, dst_node=dst, size_phits=size)
+
+
+class TestSplitOccupancy:
+    def test_add_remove(self):
+        split = SplitOccupancy()
+        split.add(8, minimal=True)
+        split.add(8, minimal=False)
+        assert split.total == 16
+        assert split.occupancy(minimal_only=True) == 8
+        split.remove(8, minimal=True)
+        assert split.minimal == 0
+
+    def test_underflow_rejected(self):
+        split = SplitOccupancy()
+        with pytest.raises(ValueError):
+            split.remove(1, minimal=True)
+
+    def test_ledger_port_occupancy(self):
+        ledger = PortOccupancyLedger(num_vcs=2)
+        ledger.add(0, 8, minimal=True)
+        ledger.add(1, 8, minimal=False)
+        assert ledger.port_occupancy() == 16
+        assert ledger.port_occupancy(minimal_only=True) == 8
+        assert ledger.vc_occupancy(1, minimal_only=True) == 0
+
+
+class TestCreditTracker:
+    def test_debit_and_credit(self):
+        tracker = CreditTracker(StaticallyPartitionedBuffer(2, 32))
+        assert tracker.can_send(0, 8)
+        tracker.debit(0, 8, minimal=True)
+        assert tracker.free_for(0) == 24
+        assert tracker.vc_occupancy(0) == 8
+        tracker.credit(0, 8, minimal=True)
+        assert tracker.free_for(0) == 32
+
+    def test_vct_admission(self):
+        tracker = CreditTracker(StaticallyPartitionedBuffer(1, 16))
+        tracker.debit(0, 8, minimal=True)
+        assert tracker.can_send(0, 8)
+        tracker.debit(0, 8, minimal=False)
+        assert not tracker.can_send(0, 1)
+
+    def test_occupancy_metric_variants(self):
+        tracker = CreditTracker(StaticallyPartitionedBuffer(2, 64))
+        tracker.debit(0, 8, minimal=True)
+        tracker.debit(1, 16, minimal=False)
+        assert tracker.occupancy_metric(per_vc=False, vc=0, minimal_only=False) == 24
+        assert tracker.occupancy_metric(per_vc=False, vc=0, minimal_only=True) == 8
+        assert tracker.occupancy_metric(per_vc=True, vc=0, minimal_only=False) == 8
+        assert tracker.occupancy_metric(per_vc=True, vc=1, minimal_only=True) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(events=st.lists(st.tuples(st.integers(0, 1), st.booleans()), max_size=50))
+def test_credit_conservation_property(events):
+    """Every debit matched by a credit restores the tracker exactly."""
+    tracker = CreditTracker(StaticallyPartitionedBuffer(2, 512))
+    outstanding = []
+    for vc, minimal in events:
+        if tracker.can_send(vc, 8):
+            tracker.debit(vc, 8, minimal)
+            outstanding.append((vc, minimal))
+    for vc, minimal in outstanding:
+        tracker.credit(vc, 8, minimal)
+    assert tracker.port_occupancy() == 0
+    for vc in range(2):
+        assert tracker.free_for(vc) == 512
+
+
+class TestInputPort:
+    def make_port(self, vcs=2, cap=32):
+        return InputPort(0, LinkType.LOCAL, vcs,
+                         StaticallyPartitionedBuffer(vcs, cap), pipeline_latency=5)
+
+    def test_pipeline_latency_gates_head(self):
+        port = self.make_port()
+        packet = make_packet()
+        port.receive(packet, 0, now=10)
+        assert port.head(0, now=10) is None
+        assert port.head(0, now=14) is None
+        assert port.head(0, now=15) is packet
+
+    def test_fifo_order(self):
+        port = self.make_port()
+        first, second = make_packet(), make_packet()
+        port.receive(first, 0, now=0)
+        port.receive(second, 0, now=0)
+        assert port.head(0, now=100) is first
+        port.pop(0, now=100, minimal=True)
+        assert port.head(0, now=100) is second
+
+    def test_occupancy_tracking(self):
+        port = self.make_port()
+        packet = make_packet(size=8)
+        port.receive(packet, 1, now=0)
+        assert port.occupancy(1) == 8
+        assert port.resident_packets == 1
+        port.pop(1, now=10, minimal=True)
+        assert port.occupancy(1) == 0
+        assert port.is_empty()
+
+
+class TestEjectionPort:
+    def test_serialization(self):
+        port = EjectionPort(node=0, msg_class=MessageClass.REQUEST)
+        packet = make_packet(size=8)
+        done = port.consume(packet, now=10)
+        assert done == 18
+        assert not port.idle_at(15)
+        assert port.idle_at(18)
+
+    def test_busy_rejects(self):
+        port = EjectionPort(node=0, msg_class=MessageClass.REQUEST)
+        port.consume(make_packet(), now=0)
+        with pytest.raises(RuntimeError):
+            port.consume(make_packet(), now=3)
+
+
+class TestSeparableAllocator:
+    def _request(self, input_index, resource):
+        return Request(input_index=input_index, input_vc=0,
+                       packet=make_packet(), resource=resource)
+
+    def test_one_grant_per_resource(self):
+        allocator = SeparableAllocator(num_inputs=4)
+        requests = [self._request(i, ("out", 0)) for i in range(4)]
+        grants = allocator.arbitrate(requests)
+        assert len(grants) == 1
+
+    def test_distinct_resources_all_granted(self):
+        allocator = SeparableAllocator(num_inputs=4)
+        requests = [self._request(i, ("out", i)) for i in range(4)]
+        grants = allocator.arbitrate(requests)
+        assert len(grants) == 4
+
+    def test_round_robin_priority_rotates(self):
+        allocator = SeparableAllocator(num_inputs=3)
+        winners = []
+        for _ in range(3):
+            requests = [self._request(i, ("out", 0)) for i in range(3)]
+            winners.append(allocator.arbitrate(requests)[0].input_index)
+        # Over three rounds with the same contenders every input wins once.
+        assert sorted(winners) == [0, 1, 2]
+
+
+class TestSaturationBoard:
+    def test_hot_port_detected_against_group_average(self):
+        board = SaturationBoard(positions=4, global_ports=2, saturation_factor=1.5)
+        # Seven lightly loaded ports and one hot one.
+        for position in range(4):
+            for port in range(2):
+                board.post(position, port, 0, 10)
+        board.post(1, 1, 0, 200)
+        assert board.is_saturated(1, 1, 0)
+        assert not board.is_saturated(0, 0, 0)
+        assert board.saturated_count(0) == 1
+
+    def test_uniform_occupancy_never_saturated(self):
+        board = SaturationBoard(positions=2, global_ports=2)
+        for position in range(2):
+            for port in range(2):
+                board.post(position, port, 0, 50)
+        assert board.saturated_count(0) == 0
+
+    def test_zero_occupancy_not_saturated(self):
+        board = SaturationBoard(positions=2, global_ports=2)
+        assert not board.is_saturated(0, 0, 0)
+
+    def test_post_updates_average(self):
+        board = SaturationBoard(positions=2, global_ports=1)
+        board.post(0, 0, 0, 100)
+        board.post(1, 0, 0, 0)
+        assert board.average(0) == pytest.approx(50)
+        board.post(0, 0, 0, 20)
+        assert board.average(0) == pytest.approx(10)
+
+    def test_bounds_checked(self):
+        board = SaturationBoard(positions=2, global_ports=2)
+        with pytest.raises(ValueError):
+            board.post(2, 0, 0, 1)
+        with pytest.raises(ValueError):
+            board.is_saturated(0, 2, 0)
+        with pytest.raises(ValueError):
+            board.post(0, 0, 5, 1)

@@ -1,0 +1,116 @@
+"""Tables I-IV must match the paper exactly."""
+
+import pytest
+
+from repro.core.arrangement import VcArrangement
+from repro.core.feasibility import (
+    PathSupport,
+    classify,
+    classify_request_reply,
+    combined_support,
+    escape_sequences,
+    table1,
+    table2,
+    table3,
+    table4,
+    walk_reference_path,
+)
+from repro.core.flexvc import FlexVcPolicy
+from repro.core.link_types import reference_path
+from repro.experiments.tables import (
+    EXPECTED_TABLE1,
+    EXPECTED_TABLE2,
+    EXPECTED_TABLE3,
+    EXPECTED_TABLE4,
+    matches_paper,
+)
+
+
+class TestTablesMatchPaper:
+    def test_table1(self):
+        assert table1() == EXPECTED_TABLE1
+
+    def test_table2(self):
+        assert table2() == EXPECTED_TABLE2
+
+    def test_table3(self):
+        assert table3() == EXPECTED_TABLE3
+
+    def test_table4(self):
+        assert table4() == EXPECTED_TABLE4
+
+    def test_matches_paper_helper(self):
+        assert matches_paper()
+
+
+class TestClassification:
+    def test_min_always_safe_with_reference_vcs(self):
+        assert classify(VcArrangement.single_class(2, 1), "MIN", dragonfly=True) \
+            == PathSupport.SAFE
+
+    def test_memory_saving_headline_50_percent(self):
+        """Distance-based needs 5+5=10 VCs for VAL+PAR; FlexVC supports them with 3+2=5."""
+        arrangement = VcArrangement.request_reply((3, 0), (2, 0))
+        for routing in ("MIN", "VAL", "PAR"):
+            request, reply = classify_request_reply(arrangement, routing, dragonfly=False)
+            assert request != PathSupport.UNSUPPORTED
+            assert reply != PathSupport.UNSUPPORTED
+
+    def test_dragonfly_5_3_headline(self):
+        """Table IV: 3/2+2/1 = 5/3 supports VAL and PAR opportunistically."""
+        arrangement = VcArrangement.request_reply((3, 2), (2, 1))
+        for routing in ("VAL", "PAR"):
+            request, reply = classify_request_reply(arrangement, routing, dragonfly=True)
+            assert request == PathSupport.OPPORTUNISTIC
+            assert reply == PathSupport.OPPORTUNISTIC
+
+    def test_combined_support_takes_the_weaker(self):
+        assert combined_support(PathSupport.SAFE, PathSupport.OPPORTUNISTIC) \
+            == PathSupport.OPPORTUNISTIC
+        assert combined_support(PathSupport.UNSUPPORTED, PathSupport.SAFE) \
+            == PathSupport.UNSUPPORTED
+
+
+class TestFeasibilityWalk:
+    def test_walk_records_one_vc_per_hop(self):
+        policy = FlexVcPolicy(VcArrangement.single_class(4, 2))
+        result = walk_reference_path(policy, "VAL", dragonfly=True)
+        assert result.feasible
+        assert len(result.chosen_vcs) == len(reference_path("VAL", True))
+
+    def test_walk_reports_failed_hop(self):
+        policy = FlexVcPolicy(VcArrangement.single_class(2, 1))
+        result = walk_reference_path(policy, "VAL", dragonfly=True)
+        assert not result.feasible
+        assert result.failed_hop >= 0
+
+    def test_escape_sequences_align_with_reference_paths(self):
+        for dragonfly in (True, False):
+            for routing in ("MIN", "VAL", "PAR"):
+                ref = reference_path(routing, dragonfly)
+                escapes = escape_sequences(routing, dragonfly)
+                assert len(ref) == len(escapes)
+                # The escape after the final hop is always empty (consumption).
+                assert escapes[-1] == ()
+
+
+class TestMonotonicity:
+    """More VCs can never reduce the support level (sanity property)."""
+
+    ORDER = {PathSupport.UNSUPPORTED: 0, PathSupport.OPPORTUNISTIC: 1, PathSupport.SAFE: 2}
+
+    @pytest.mark.parametrize("routing", ["MIN", "VAL", "PAR"])
+    def test_generic_network_monotone_in_vc_count(self, routing):
+        previous = -1
+        for vcs in range(2, 8):
+            support = classify(VcArrangement.single_class(vcs, 0), routing, dragonfly=False)
+            assert self.ORDER[support] >= previous
+            previous = self.ORDER[support]
+
+    @pytest.mark.parametrize("routing", ["MIN", "VAL", "PAR"])
+    def test_dragonfly_monotone_in_local_vcs(self, routing):
+        previous = -1
+        for local in range(2, 8):
+            support = classify(VcArrangement.single_class(local, 2), routing, dragonfly=True)
+            assert self.ORDER[support] >= previous
+            previous = self.ORDER[support]

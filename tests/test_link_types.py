@@ -1,0 +1,74 @@
+"""Unit tests for hop sequences and reference paths."""
+
+import pytest
+
+from repro.core.link_types import (
+    DRAGONFLY_MIN,
+    DRAGONFLY_PAR,
+    DRAGONFLY_VAL,
+    G,
+    L,
+    LinkType,
+    count_hops,
+    hop_counts,
+    reference_path,
+    reference_vc_requirements,
+    sequence_str,
+)
+
+
+class TestHopCounting:
+    def test_count_hops_local(self):
+        assert count_hops((L, G, L), LinkType.LOCAL) == 2
+
+    def test_count_hops_global(self):
+        assert count_hops((L, G, L), LinkType.GLOBAL) == 1
+
+    def test_count_hops_empty(self):
+        assert count_hops((), LinkType.LOCAL) == 0
+
+    def test_hop_counts_pair(self):
+        assert hop_counts(DRAGONFLY_VAL) == (4, 2)
+
+    def test_hop_counts_par(self):
+        assert hop_counts(DRAGONFLY_PAR) == (5, 2)
+
+
+class TestSequenceStr:
+    def test_min_path(self):
+        assert sequence_str(DRAGONFLY_MIN) == "l-g-l"
+
+    def test_empty(self):
+        assert sequence_str(()) == "(empty)"
+
+    def test_valiant(self):
+        assert sequence_str(DRAGONFLY_VAL) == "l-g-l-l-g-l"
+
+
+class TestReferencePaths:
+    @pytest.mark.parametrize(
+        "routing,dragonfly,expected",
+        [
+            ("MIN", True, (2, 1)),
+            ("VAL", True, (4, 2)),
+            ("PAR", True, (5, 2)),
+            ("MIN", False, (2, 0)),
+            ("VAL", False, (4, 0)),
+            ("PAR", False, (5, 0)),
+        ],
+    )
+    def test_vc_requirements_match_paper(self, routing, dragonfly, expected):
+        assert reference_vc_requirements(routing, dragonfly) == expected
+
+    def test_case_insensitive(self):
+        assert reference_path("min", True) == DRAGONFLY_MIN
+
+    def test_unknown_routing_raises(self):
+        with pytest.raises(ValueError):
+            reference_path("UGAL", True)
+
+    def test_dragonfly_min_order(self):
+        assert DRAGONFLY_MIN == (L, G, L)
+
+    def test_dragonfly_val_is_two_min_segments(self):
+        assert DRAGONFLY_VAL == DRAGONFLY_MIN + DRAGONFLY_MIN

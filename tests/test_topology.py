@@ -1,0 +1,186 @@
+"""Topology invariants for the Dragonfly and Flattened Butterfly constructions."""
+
+import pytest
+
+from repro.core.link_types import LinkType
+from repro.topology import (
+    Dragonfly,
+    FlattenedButterfly2D,
+    bfs_distances,
+    degree_histogram,
+    is_connected,
+    measured_diameter,
+    verify_bidirectional,
+)
+
+
+@pytest.fixture(params=[1, 2, 3])
+def dragonfly(request):
+    return Dragonfly(h=request.param)
+
+
+class TestDragonflySizes:
+    def test_balanced_sizes(self, dragonfly):
+        h = dragonfly.h
+        assert dragonfly.a == 2 * h
+        assert dragonfly.p == h
+        assert dragonfly.num_groups == 2 * h * h + 1
+        assert dragonfly.num_routers == dragonfly.num_groups * dragonfly.a
+        assert dragonfly.num_nodes == dragonfly.num_routers * h
+
+    def test_paper_configuration(self):
+        df = Dragonfly(h=8, p=8, a=16)
+        assert df.num_groups == 129
+        assert df.num_routers == 2064
+        assert df.num_nodes == 16512
+        # 31-port router: 8 injection + 15 local + 8 global.
+        assert df.radix == 15 + 8
+
+    def test_radix(self, dragonfly):
+        assert dragonfly.radix == (dragonfly.a - 1) + dragonfly.h
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Dragonfly(h=0)
+        with pytest.raises(ValueError):
+            Dragonfly(h=2, num_groups=1)
+        with pytest.raises(ValueError):
+            Dragonfly(h=2, num_groups=100)
+
+
+class TestDragonflyConnectivity:
+    def test_connected(self, dragonfly):
+        assert is_connected(dragonfly)
+
+    def test_bidirectional_links(self, dragonfly):
+        assert verify_bidirectional(dragonfly)
+
+    def test_degree_regular(self, dragonfly):
+        histogram = degree_histogram(dragonfly)
+        assert histogram == {dragonfly.radix: dragonfly.num_routers}
+
+    def test_diameter_at_most_three(self):
+        df = Dragonfly(h=2)
+        assert measured_diameter(df) <= 3
+
+    def test_one_global_link_per_group_pair(self, dragonfly):
+        seen = set()
+        for router in range(dragonfly.num_routers):
+            for info in dragonfly.ports(router):
+                if info.link_type != LinkType.GLOBAL:
+                    continue
+                pair = tuple(sorted((dragonfly.group_of(router),
+                                     dragonfly.group_of(info.neighbor))))
+                seen.add(pair)
+        groups = dragonfly.num_groups
+        assert len(seen) == groups * (groups - 1) // 2
+
+
+class TestDragonflyMinimalRouting:
+    def test_min_path_respects_lgl_order(self, dragonfly):
+        n = dragonfly.num_routers
+        rng_pairs = [(0, n - 1), (min(3, n - 1), n // 2), (n // 2, 1)]
+        for src, dst in rng_pairs:
+            if src == dst:
+                continue
+            seq = dragonfly.min_hop_sequence(src, dst)
+            assert len(seq) <= 3
+            # The sequence must be a subsequence of l-g-l (never g after l after g).
+            labels = "".join("l" if s == LinkType.LOCAL else "g" for s in seq)
+            assert labels in {"", "l", "g", "lg", "gl", "lgl"}
+
+    def test_min_next_port_walk_reaches_destination(self, dragonfly):
+        for src in range(0, dragonfly.num_routers, max(1, dragonfly.num_routers // 7)):
+            for dst in range(0, dragonfly.num_routers, max(1, dragonfly.num_routers // 5)):
+                current = src
+                hops = 0
+                while current != dst:
+                    port = dragonfly.min_next_port(current, dst)
+                    assert port is not None
+                    current = dragonfly.neighbor(current, port)
+                    hops += 1
+                    assert hops <= 3
+                assert hops == len(dragonfly.min_hop_sequence(src, dst))
+
+    def test_min_distance_bounds(self):
+        # Dragonfly minimal routing is restricted to l-g-l paths, so the
+        # routing distance can exceed the raw graph distance (which may use
+        # two global hops) but never the diameter of 3.
+        df = Dragonfly(h=2)
+        for src in range(0, df.num_routers, 5):
+            distances = bfs_distances(df, src)
+            for dst in range(0, df.num_routers, 7):
+                routed = df.min_distance(src, dst)
+                assert distances[dst] <= routed <= 3
+
+    def test_same_router_has_empty_path(self, dragonfly):
+        assert dragonfly.min_hop_sequence(0, 0) == ()
+        assert dragonfly.min_next_port(0, 0) is None
+
+    def test_gateway_and_entry_routers_consistent(self, dragonfly):
+        g0, g1 = 0, 1
+        gateway, gport = dragonfly.gateway_router(g0, g1)
+        assert dragonfly.group_of(gateway) == g0
+        peer = dragonfly.global_peer(gateway, gport)
+        assert dragonfly.group_of(peer) == g1
+        assert dragonfly.entry_router(g0, g1) == peer
+
+
+class TestDragonflyNodeMapping:
+    def test_router_of_node_roundtrip(self, dragonfly):
+        for node in range(0, dragonfly.num_nodes, max(1, dragonfly.num_nodes // 11)):
+            router = dragonfly.router_of_node(node)
+            assert node in dragonfly.nodes_of_router(router)
+
+    def test_out_of_range_rejected(self, dragonfly):
+        with pytest.raises(ValueError):
+            dragonfly.router_of_node(dragonfly.num_nodes)
+        with pytest.raises(ValueError):
+            dragonfly.ports(dragonfly.num_routers)
+
+
+class TestFlattenedButterfly:
+    def test_sizes(self):
+        fb = FlattenedButterfly2D(k1=4, k2=3, p=2)
+        assert fb.num_routers == 12
+        assert fb.num_nodes == 24
+        assert fb.radix == 3 + 2
+
+    def test_connected_and_bidirectional(self):
+        fb = FlattenedButterfly2D(k1=4, k2=4, p=2)
+        assert is_connected(fb)
+        assert verify_bidirectional(fb)
+
+    def test_diameter_two(self):
+        fb = FlattenedButterfly2D(k1=4, k2=4, p=2)
+        assert fb.diameter == 2
+        assert measured_diameter(fb) == 2
+
+    def test_single_dimension_degenerates_to_complete_graph(self):
+        fb = FlattenedButterfly2D(k1=5, k2=1, p=1)
+        assert fb.diameter == 1
+        assert not fb.has_link_type_restrictions
+        assert measured_diameter(fb) == 1
+
+    def test_dor_order(self):
+        fb = FlattenedButterfly2D(k1=3, k2=3, p=1)
+        src = fb.router_at(0, 0)
+        dst = fb.router_at(2, 2)
+        assert fb.min_hop_sequence(src, dst) == (LinkType.LOCAL, LinkType.GLOBAL)
+
+    def test_min_walk_reaches_destination(self):
+        fb = FlattenedButterfly2D(k1=4, k2=4, p=1)
+        for src in range(fb.num_routers):
+            for dst in range(fb.num_routers):
+                current, hops = src, 0
+                while current != dst:
+                    port = fb.min_next_port(current, dst)
+                    current = fb.neighbor(current, port)
+                    hops += 1
+                    assert hops <= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FlattenedButterfly2D(k1=1, k2=2, p=1)
+        with pytest.raises(ValueError):
+            FlattenedButterfly2D(k1=3, k2=3, p=0)
