@@ -1,0 +1,109 @@
+"""Engine micro-benchmark: cycles/sec at tiny scale + idle fast-forward.
+
+Run directly to (re)generate ``BENCH_engine.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+Three measurements establish the perf trajectory of the execution core:
+
+* ``uniform_load02`` — steady-state cycles/sec of a tiny-scale uniform run at
+  offered load 0.2 (the mostly-idle regime the event-driven scheduler
+  targets), measured over a 5,000-cycle run so the one-time route-cache
+  warm-up amortizes;
+* ``tiny_run`` — the standard 900-cycle tiny run (what the figure benchmarks
+  execute), plus its ``SimulationResult`` fingerprint so any behavioural
+  drift is visible next to the perf numbers;
+* ``idle_fast_forward`` — a zero-load run where the engine skips straight
+  across idle cycles.
+
+``seed_baseline`` records the same measurements taken on the polled seed
+engine (commit 067f1ce) on the same machine, interleaved with the current
+code; ``speedup_*`` are current/seed ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.runner import TINY, base_config
+from repro.simulation import Simulation
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: cycles/sec of the seed engine measured interleaved with the current code
+#: on the reference machine (best of 5, median of 4 interleaved rounds).
+SEED_BASELINE = {
+    "uniform_load02_cps": 2945,
+    "tiny_run_cps": 3111,
+    "idle_fast_forward_cps": 20582,
+}
+
+
+def _best_cps(config, cycles: int, repeats: int = 5) -> tuple[float, Simulation]:
+    best = float("inf")
+    sim = None
+    for _ in range(repeats):
+        sim = Simulation(config)
+        start = time.perf_counter()
+        sim.run()
+        best = min(best, time.perf_counter() - start)
+    return cycles / best, sim
+
+
+def run_benchmark() -> dict:
+    steady = dataclasses.replace(
+        base_config(TINY, pattern="uniform", seed=7).with_load(0.2),
+        warmup_cycles=500, measure_cycles=4500,
+    )
+    steady_cps, _ = _best_cps(steady, 5000)
+
+    tiny = base_config(TINY, pattern="uniform", seed=7).with_load(0.2)
+    tiny_cps, tiny_sim = _best_cps(tiny, tiny.total_cycles())
+    fingerprint = dataclasses.asdict(Simulation(tiny).run())
+
+    idle = dataclasses.replace(
+        base_config(TINY, pattern="uniform", seed=7).with_load(0.0),
+        warmup_cycles=2000, measure_cycles=8000,
+    )
+    idle_cps, idle_sim = _best_cps(idle, 10_000, repeats=3)
+
+    report = {
+        "uniform_load02_cps": round(steady_cps),
+        "tiny_run_cps": round(tiny_cps),
+        "idle_fast_forward_cps": round(idle_cps),
+        "idle_cycles_skipped": idle_sim.engine.idle_cycles_skipped,
+        "seed_baseline": SEED_BASELINE,
+        "speedup_uniform_load02": round(
+            steady_cps / SEED_BASELINE["uniform_load02_cps"], 2
+        ),
+        "speedup_tiny_run": round(tiny_cps / SEED_BASELINE["tiny_run_cps"], 2),
+        "speedup_idle_fast_forward": round(
+            idle_cps / SEED_BASELINE["idle_fast_forward_cps"], 1
+        ),
+        "tiny_result_fingerprint": fingerprint,
+    }
+    return report
+
+
+def main() -> None:
+    report = run_benchmark()
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    for key in ("uniform_load02_cps", "tiny_run_cps", "idle_fast_forward_cps",
+                "speedup_uniform_load02", "speedup_tiny_run",
+                "speedup_idle_fast_forward"):
+        print(f"{key}: {report[key]}")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

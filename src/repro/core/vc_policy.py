@@ -32,7 +32,7 @@ class HopKind(Enum):
     FORBIDDEN = "forbidden"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VcRange:
     """Inclusive range ``[lo, hi]`` of admissible VC indices for a hop."""
 
@@ -53,7 +53,7 @@ class VcRange:
         return self.hi - self.lo + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HopContext:
     """Everything a VC policy needs to know about the hop being evaluated.
 

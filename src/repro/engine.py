@@ -1,81 +1,179 @@
-"""Cycle-driven simulation engine.
+"""Event-driven simulation engine.
 
-The engine owns simulated time.  Components schedule callbacks on an event
-wheel (packet arrivals, credit returns, output-buffer releases, delivery
-notifications); each cycle the engine first fires the events due at that
-cycle, then lets the traffic sources generate new packets and finally steps
-every active router.
+The engine owns simulated time.  Components schedule callbacks on a
+heap-backed calendar (packet arrivals, credit returns, output-buffer
+releases, delivery notifications); each cycle the engine first fires the
+events due at that cycle, then lets the traffic sources generate new packets
+and finally steps the routers that declared themselves *active*.
+
+Activity tracking replaces the seed's per-cycle scan of every router: a
+router registers as active when it gains work (a packet arrives, a source
+enqueues, a credit returns) via :meth:`Engine.activate` and is deregistered
+by the engine once its :meth:`has_work` check fails at the top of a cycle.
+The active set is iterated in registration order so the shared RNG stream —
+and therefore every simulation result — is bit-identical to stepping all
+busy routers in router-id order.
+
+When no router is active and every traffic source reports itself quiescent
+(see ``quiescent()`` on :class:`~repro.traffic.base.TrafficGenerator`),
+:meth:`run_until` fast-forwards straight to the next scheduled event instead
+of ticking through empty cycles.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+import heapq
 from typing import Callable, Dict, Iterable, List, Optional
 
 Event = Callable[[int], None]
 
 
 class Engine:
-    """Event wheel plus the top-level cycle loop."""
+    """Heap-backed event calendar plus the activity-tracked cycle loop."""
 
     def __init__(self) -> None:
         self.now = 0
-        self._wheel: Dict[int, List[Event]] = defaultdict(list)
+        self._wheel: Dict[int, List[Event]] = {}
+        #: min-heap of cycles that have at least one pending event.
+        self._event_cycles: List[int] = []
         self._steppers: List[object] = []
         self._generators: List[object] = []
+        #: indices (into ``_steppers``) of routers that may have work.
+        self._active: set[int] = set()
+        #: timed router wake-ups: cycle -> set of stepper indices.  Cheaper
+        #: than generic events (a set union at the cycle, no callables).
+        self._wake_wheel: Dict[int, set] = {}
+        self._wake_cycles: List[int] = []
         self.events_processed = 0
+        #: cycles skipped by idle fast-forward (diagnostics / benchmarks).
+        self.idle_cycles_skipped = 0
 
     # -- registration -----------------------------------------------------------
     def register_router(self, router: object) -> None:
-        """Register an object exposing ``step(now)`` and ``has_work()``."""
+        """Register an object exposing ``step(now)`` and ``has_work()``.
+
+        Routers start active; they are dropped from the active set once
+        ``has_work()`` returns False and must re-activate themselves (via
+        :meth:`activate`) when they gain new work.
+        """
+        index = len(self._steppers)
         self._steppers.append(router)
+        self._active.add(index)
+        # Routers use these handles to signal activity without indirection.
+        try:
+            router.engine_index = index
+            router.engine_activate = self._active.add
+        except AttributeError:  # pragma: no cover - read-only test doubles
+            pass
 
     def register_traffic(self, generator: object) -> None:
         """Register an object exposing ``tick(now)`` called once per cycle."""
         self._generators.append(generator)
+
+    def activate(self, router: object) -> None:
+        """Mark a registered router as having (potential) work."""
+        self._active.add(router.engine_index)
+
+    def active_count(self) -> int:
+        return len(self._active)
 
     # -- event scheduling ----------------------------------------------------------
     def schedule(self, cycle: int, event: Event) -> None:
         """Run ``event(cycle)`` at the given absolute cycle (must not be in the past)."""
         if cycle < self.now:
             raise ValueError(f"cannot schedule event at {cycle}, current cycle is {self.now}")
-        self._wheel[cycle].append(event)
+        bucket = self._wheel.get(cycle)
+        if bucket is None:
+            self._wheel[cycle] = [event]
+            heapq.heappush(self._event_cycles, cycle)
+        else:
+            bucket.append(event)
 
     def schedule_in(self, delay: int, event: Event) -> None:
         self.schedule(self.now + delay, event)
 
+    def schedule_wake(self, cycle: int, index: int) -> None:
+        """Re-activate stepper ``index`` at ``cycle`` (timed router sleep)."""
+        bucket = self._wake_wheel.get(cycle)
+        if bucket is None:
+            self._wake_wheel[cycle] = {index}
+            heapq.heappush(self._wake_cycles, cycle)
+        else:
+            bucket.add(index)
+
     # -- execution ---------------------------------------------------------------------
     def _fire_events(self, cycle: int) -> None:
-        events = self._wheel.pop(cycle, None)
-        if not events:
-            return
-        for event in events:
-            event(cycle)
-            self.events_processed += 1
+        while self._event_cycles and self._event_cycles[0] == cycle:
+            heapq.heappop(self._event_cycles)
+            events = self._wheel.pop(cycle)
+            self.events_processed += len(events)
+            for event in events:
+                event(cycle)
 
     def tick(self) -> None:
         """Advance the simulation by one cycle."""
         cycle = self.now
+        if self._wake_cycles and self._wake_cycles[0] <= cycle:
+            while self._wake_cycles and self._wake_cycles[0] <= cycle:
+                self._active |= self._wake_wheel.pop(heapq.heappop(self._wake_cycles))
         self._fire_events(cycle)
         for generator in self._generators:
             generator.tick(cycle)
-        for router in self._steppers:
-            if router.has_work():
-                router.step(cycle)
+        active = self._active
+        if active:
+            steppers = self._steppers
+            for index in sorted(active):
+                router = steppers[index]
+                if router.has_work():
+                    router.step(cycle)
+                else:
+                    active.discard(index)
         self.now = cycle + 1
+
+    def _quiescent(self) -> bool:
+        """True when no router is active and no traffic source can emit."""
+        if self._active:
+            return False
+        for generator in self._generators:
+            quiescent = getattr(generator, "quiescent", None)
+            if quiescent is None or not quiescent():
+                return False
+        return True
+
+    def _next_event_cycle(self) -> Optional[int]:
+        """Next cycle with a scheduled event or timed router wake."""
+        events = self._event_cycles
+        wakes = self._wake_cycles
+        if events and wakes:
+            return min(events[0], wakes[0])
+        if events:
+            return events[0]
+        return wakes[0] if wakes else None
 
     def run(self, cycles: int, callback: Optional[Callable[[int], None]] = None) -> None:
         """Run ``cycles`` additional cycles, optionally invoking ``callback`` each cycle."""
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
-        for _ in range(cycles):
+        self.run_until(self.now + cycles, callback)
+
+    def run_until(self, cycle: int, callback: Optional[Callable[[int], None]] = None) -> None:
+        """Advance time to ``cycle``, fast-forwarding across idle gaps.
+
+        A gap is skippable only when no router is active and every traffic
+        source is quiescent, so skipping never changes simulation results.
+        Per-cycle ``callback`` invocation disables skipping.
+        """
+        while self.now < cycle:
+            if callback is None and self._quiescent():
+                next_event = self._next_event_cycle()
+                target = cycle if next_event is None else min(next_event, cycle)
+                if target > self.now:
+                    self.idle_cycles_skipped += target - self.now
+                    self.now = target
+                    continue
             self.tick()
             if callback is not None:
                 callback(self.now)
-
-    def run_until(self, cycle: int) -> None:
-        while self.now < cycle:
-            self.tick()
 
     # -- introspection --------------------------------------------------------------------
     def pending_events(self) -> int:

@@ -1,0 +1,196 @@
+"""Registry-driven experiment CLI.
+
+Every figure (and the feasibility tables) of the paper is runnable by name,
+at any scale, with parallel workers and a persistent result cache::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig5 --scale tiny --workers 4
+    python -m repro.experiments run fig6 fig9 --scale small --workers 8
+    python -m repro.experiments run fig5 --force          # recompute, ignore cache
+
+Results are persisted to a JSON store keyed by a content hash of each
+point's complete :class:`~repro.config.SimulationConfig` (default
+``results/store.json``), so re-running a figure serves every already-computed
+point from cache — interrupted sweeps resume instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from . import figures, tables
+from .formatting import render_bar_table, render_series_table
+from .orchestrator import ResultStore, orchestration
+from .runner import SCALES
+
+DEFAULT_STORE = "results/store.json"
+
+
+# ---------------------------------------------------------------------------
+# Figure registry (the ProjectScylla idiom: one generator per figure name)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FigureEntry:
+    """One runnable experiment: a generator plus how to render its output."""
+
+    name: str
+    description: str
+    run: Callable[..., object]
+    render: Callable[[str, object], str]
+    #: accepts the standard scale/patterns/seeds keyword arguments.
+    takes_scale: bool = True
+
+
+def _render_pattern_series(name: str, results) -> str:
+    return "\n\n".join(
+        render_series_table(f"{name} [{pattern}]", series)
+        for pattern, series in results.items()
+    )
+
+
+def _render_pattern_bars(name: str, results) -> str:
+    return "\n\n".join(
+        render_bar_table(f"{name} [{pattern}] (accepted load at 100% offered)", rows)
+        for pattern, rows in results.items()
+    )
+
+
+def _render_series(name: str, results) -> str:
+    return render_series_table(name, results)
+
+
+def _render_bars(name: str, results) -> str:
+    return render_bar_table(f"{name} (accepted load at 100% offered)", results)
+
+
+def _render_tables(name: str, results) -> str:
+    return tables.render_all_tables()
+
+
+REGISTRY: Dict[str, FigureEntry] = {
+    entry.name: entry
+    for entry in (
+        FigureEntry(
+            "fig5", "Latency/throughput vs offered load, oblivious routing",
+            figures.figure5, _render_pattern_series,
+        ),
+        FigureEntry(
+            "fig6", "Max throughput vs buffer capacity (speedup 2)",
+            figures.figure6, _render_pattern_bars,
+        ),
+        FigureEntry(
+            "fig7", "Request-reply traffic with oblivious routing",
+            figures.figure7, _render_pattern_series,
+        ),
+        FigureEntry(
+            "fig8", "Piggyback adaptive routing, sensing variants",
+            figures.figure8, _render_pattern_series,
+        ),
+        FigureEntry(
+            "fig9", "Throughput vs VC selection function and VC count",
+            figures.figure9, _render_bars,
+        ),
+        FigureEntry(
+            "fig10", "DAMQ throughput vs per-VC private reservation",
+            figures.figure10, _render_series,
+        ),
+        FigureEntry(
+            "fig11", "Max throughput without router speedup (speedup 1)",
+            figures.figure11, _render_pattern_bars,
+        ),
+        FigureEntry(
+            "tables", "VC feasibility tables I-IV (analytic, no simulation)",
+            lambda **_: tables.all_tables(), _render_tables, takes_scale=False,
+        ),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in REGISTRY)
+    print("available experiments:")
+    for name, entry in REGISTRY.items():
+        print(f"  {name:<{width}s}  {entry.description}")
+    print(f"\nscales: {', '.join(SCALES)}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    unknown = [name for name in args.figures if name not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"expected one of {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store, refresh=args.force)
+    status = 0
+    with orchestration(workers=args.workers, store=store):
+        for name in args.figures:
+            entry = REGISTRY[name]
+            kwargs: dict = {}
+            if entry.takes_scale:
+                kwargs["scale"] = args.scale
+                if args.seeds is not None:
+                    kwargs["seeds"] = args.seeds
+                if args.patterns and "patterns" in entry.run.__code__.co_varnames:
+                    kwargs["patterns"] = tuple(args.patterns)
+            hits_before, writes_before = store.hits, store.writes
+            start = time.perf_counter()
+            results = entry.run(**kwargs)
+            elapsed = time.perf_counter() - start
+            print(entry.render(f"{name} @ {args.scale}", results))
+            executed = store.writes - writes_before
+            cached = store.hits - hits_before
+            print(
+                f"\n[{name}] {elapsed:.1f}s with {args.workers} worker(s): "
+                f"{executed} point(s) simulated, {cached} served from cache "
+                f"({args.store})\n"
+            )
+    store.flush()
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list runnable experiments").set_defaults(func=cmd_list)
+
+    run = sub.add_parser("run", help="run one or more experiments by name")
+    run.add_argument("figures", nargs="+", metavar="figure",
+                     help=f"experiment name(s): {', '.join(REGISTRY)}")
+    run.add_argument("--scale", default="tiny", choices=sorted(SCALES),
+                     help="experiment scale (default: tiny)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="parallel worker processes (default: 1 = serial)")
+    run.add_argument("--seeds", type=int, default=None,
+                     help="override the scale's seed count")
+    run.add_argument("--patterns", nargs="*", default=None,
+                     help="restrict traffic patterns (e.g. uniform bursty)")
+    run.add_argument("--store", default=DEFAULT_STORE,
+                     help=f"JSON result store path (default: {DEFAULT_STORE})")
+    run.add_argument("--force", action="store_true",
+                     help="ignore cached results (still persists fresh ones)")
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -20,7 +20,7 @@ from .runner import (
     base_config,
     get_scale,
     load_sweep,
-    run_point,
+    max_throughput,
 )
 
 # ---------------------------------------------------------------------------
@@ -67,13 +67,13 @@ def oblivious_series(
     series = [
         Series(
             "Baseline",
-            lambda load, a=min_arrangement: base_config(
+            lambda a=min_arrangement: base_config(
                 scale, vc_policy="baseline", arrangement=a, **common
             ),
         ),
         Series(
             "DAMQ 75%",
-            lambda load, a=min_arrangement: base_config(
+            lambda a=min_arrangement: base_config(
                 scale, vc_policy="baseline", arrangement=a,
                 buffer_organization="damq", **common
             ),
@@ -83,7 +83,7 @@ def oblivious_series(
         series.append(
             Series(
                 label,
-                lambda load, a=arrangement: base_config(
+                lambda a=arrangement: base_config(
                     scale, vc_policy="flexvc", arrangement=a, **common
                 ),
             )
@@ -115,13 +115,13 @@ def request_reply_series(scale: ExperimentScale, pattern: str) -> List[Series]:
     series = [
         Series(
             "Baseline",
-            lambda load, a=baseline_arr: base_config(
+            lambda a=baseline_arr: base_config(
                 scale, vc_policy="baseline", arrangement=a, **common
             ),
         ),
         Series(
             "DAMQ",
-            lambda load, a=baseline_arr: base_config(
+            lambda a=baseline_arr: base_config(
                 scale, vc_policy="baseline", arrangement=a,
                 buffer_organization="damq", **common
             ),
@@ -131,7 +131,7 @@ def request_reply_series(scale: ExperimentScale, pattern: str) -> List[Series]:
         series.append(
             Series(
                 label,
-                lambda load, a=arrangement: base_config(
+                lambda a=arrangement: base_config(
                     scale, vc_policy="flexvc", arrangement=a, **common
                 ),
             )
@@ -153,7 +153,7 @@ def adaptive_series(scale: ExperimentScale, pattern: str) -> List[Series]:
     series = [
         Series(
             "MIN/VAL" if reference_algorithm == "val" else "MIN",
-            lambda load: base_config(
+            lambda: base_config(
                 scale, pattern=pattern, algorithm=reference_algorithm,
                 vc_policy="baseline", arrangement=reference_arr, reactive=True,
             ),
@@ -163,7 +163,7 @@ def adaptive_series(scale: ExperimentScale, pattern: str) -> List[Series]:
         series.append(
             Series(
                 f"PB - per {sensing.upper()}",
-                lambda load, s=sensing: base_config(
+                lambda s=sensing: base_config(
                     scale, pattern=pattern, algorithm="pb", vc_policy="baseline",
                     arrangement=pb_baseline_arr, reactive=True, pb_sensing=s,
                 ),
@@ -173,7 +173,7 @@ def adaptive_series(scale: ExperimentScale, pattern: str) -> List[Series]:
         series.append(
             Series(
                 f"PB FlexVC - per {sensing.upper()}",
-                lambda load, s=sensing: base_config(
+                lambda s=sensing: base_config(
                     scale, pattern=pattern, algorithm="pb", vc_policy="flexvc",
                     arrangement=pb_flexvc_arr, reactive=True, pb_sensing=s,
                 ),
@@ -183,7 +183,7 @@ def adaptive_series(scale: ExperimentScale, pattern: str) -> List[Series]:
         series.append(
             Series(
                 f"PB FlexVC - per {sensing.upper()} minCred",
-                lambda load, s=sensing: base_config(
+                lambda s=sensing: base_config(
                     scale, pattern=pattern, algorithm="pb", vc_policy="flexvc",
                     arrangement=pb_flexvc_arr, reactive=True, pb_sensing=s,
                     pb_min_credits_only=True,
@@ -230,24 +230,28 @@ def figure6(
     scale = get_scale(scale)
     seeds = seeds if seeds is not None else scale.seeds
     capacities = list(capacities) if capacities is not None else list(scale.buffer_capacities)
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    # The paper omits the smallest capacity for ADV (4/2 VCs do not fit
+    # usefully in 64/256 phits); keep all capacities but note that the
+    # smallest point is the most distorted one.  Every (pattern, capacity,
+    # series) point is an independent job, so the whole figure runs as one
+    # flat sweep and parallelizes across all of them.
+    flat: List[Series] = []
     for pattern in patterns:
-        per_capacity: Dict[str, Dict[str, float]] = {}
-        # The paper omits the smallest capacity for ADV (4/2 VCs do not fit
-        # usefully in 64/256 phits); keep all capacities but note that the
-        # smallest point is the most distorted one.
         for local_cap, global_cap in capacities:
-            label = f"{local_cap}/{global_cap}"
-            series = oblivious_series(
+            for entry in oblivious_series(
                 scale, pattern, speedup=speedup,
                 local_port_phits=local_cap, global_port_phits=global_cap,
-            )
-            values: Dict[str, float] = {}
-            for entry in series:
-                result = run_point(entry.builder(1.0).with_load(1.0), seeds)
-                values[entry.label] = result.accepted_load
-            per_capacity[label] = values
-        results[pattern] = per_capacity
+            ):
+                flat.append(
+                    Series(f"{pattern}|{local_cap}/{global_cap}|{entry.label}", entry.builder)
+                )
+    max_throughput(flat, seeds)
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for entry in flat:
+        pattern, capacity_label, label = entry.label.split("|", 2)
+        results.setdefault(pattern, {}).setdefault(capacity_label, {})[label] = (
+            entry.results[0].accepted_load
+        )
     return results
 
 
@@ -307,32 +311,44 @@ def figure9(
     """
     scale = get_scale(scale)
     seeds = seeds if seeds is not None else scale.seeds
-    results: Dict[str, Dict[str, float]] = {}
     baseline_arr = VcArrangement.request_reply((2, 1), (2, 1))
-    baseline = run_point(
-        base_config(scale, pattern="uniform", algorithm="min", reactive=True,
-                    vc_policy="baseline", arrangement=baseline_arr).with_load(1.0),
-        seeds,
-    ).accepted_load
-    damq = run_point(
-        base_config(scale, pattern="uniform", algorithm="min", reactive=True,
-                    vc_policy="baseline", arrangement=baseline_arr,
-                    buffer_organization="damq").with_load(1.0),
-        seeds,
-    ).accepted_load
+    # One flat sweep: the two reference points plus every (arrangement,
+    # selection) pair run as independent jobs.
+    flat: List[Series] = [
+        Series(
+            "ref|Baseline",
+            lambda: base_config(scale, pattern="uniform", algorithm="min", reactive=True,
+                                vc_policy="baseline", arrangement=baseline_arr),
+        ),
+        Series(
+            "ref|DAMQ",
+            lambda: base_config(scale, pattern="uniform", algorithm="min", reactive=True,
+                                vc_policy="baseline", arrangement=baseline_arr,
+                                buffer_organization="damq"),
+        ),
+    ]
     for label, (request, reply) in arrangements:
         arrangement = VcArrangement.request_reply(request, reply)
-        row: Dict[str, float] = {"Baseline": baseline, "DAMQ": damq}
         for selection in selections:
-            result = run_point(
-                base_config(
-                    scale, pattern="uniform", algorithm="min", reactive=True,
-                    vc_policy="flexvc", arrangement=arrangement,
-                    vc_selection=selection,
-                ).with_load(1.0),
-                seeds,
+            flat.append(
+                Series(
+                    f"{label}|FlexVC {selection}",
+                    lambda a=arrangement, s=selection: base_config(
+                        scale, pattern="uniform", algorithm="min", reactive=True,
+                        vc_policy="flexvc", arrangement=a, vc_selection=s,
+                    ),
+                )
             )
-            row[f"FlexVC {selection}"] = result.accepted_load
+    max_throughput(flat, seeds)
+    accepted = {entry.label: entry.results[0].accepted_load for entry in flat}
+    results: Dict[str, Dict[str, float]] = {}
+    for label, _ in arrangements:
+        row: Dict[str, float] = {
+            "Baseline": accepted["ref|Baseline"],
+            "DAMQ": accepted["ref|DAMQ"],
+        }
+        for selection in selections:
+            row[f"FlexVC {selection}"] = accepted[f"{label}|FlexVC {selection}"]
         results[label] = row
     return results
 
@@ -358,7 +374,7 @@ def figure10(
     series = [
         Series(
             f"reserved {int(fraction * 100)}%",
-            lambda load, f=fraction: base_config(
+            lambda f=fraction: base_config(
                 scale, pattern="uniform", algorithm="min", vc_policy="baseline",
                 arrangement=arrangement, buffer_organization="damq",
                 damq_private_fraction=f,

@@ -1,0 +1,406 @@
+"""Parallel sweep orchestration: jobs, backends, result store, contexts.
+
+Every experiment of the paper decomposes into independent *jobs* — one
+``(series, load, seed)`` point, each a full :class:`~repro.simulation.Simulation`
+run.  This module turns that decomposition into infrastructure:
+
+* :class:`SweepSpec` declaratively describes a sweep (series x loads x seeds)
+  and expands it into :class:`Job` objects keyed by a stable hash of the
+  complete :class:`~repro.config.SimulationConfig`;
+* :func:`run_jobs` executes jobs on a backend — a ``ProcessPoolExecutor``
+  when ``workers > 1``, serial otherwise — with bit-identical results either
+  way because every job owns its RNG;
+* :class:`ResultStore` persists results as JSON keyed by config hash, so an
+  interrupted sweep resumes from what it already computed instead of
+  recomputing, and repeated invocations are served entirely from cache;
+* :func:`orchestration` installs a process-wide context (worker count +
+  store) that the thin wrappers in :mod:`repro.experiments.runner`
+  (``load_sweep``/``run_point``/``max_throughput``) consult, so every figure
+  generator, benchmark and example inherits parallelism and caching without
+  signature changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..config import SimulationConfig
+from ..metrics import SimulationResult
+
+ConfigBuilder = Callable[[], SimulationConfig]
+
+#: store format version; bump when the result schema changes.
+STORE_VERSION = 1
+
+#: minimum seconds between mid-sweep store flushes (resumability vs I/O).
+FLUSH_INTERVAL_SECONDS = 5.0
+
+
+# ---------------------------------------------------------------------------
+# Config hashing
+# ---------------------------------------------------------------------------
+
+def config_key(config: SimulationConfig) -> str:
+    """Stable content hash of a complete simulation configuration.
+
+    Dataclass-derived JSON with sorted keys, so two structurally equal
+    configurations (even if built through different code paths) share a key.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# Jobs and sweep specifications
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Job:
+    """One independent simulation run (a single series/load/seed point)."""
+
+    key: str
+    series: str
+    load: float
+    seed: int
+    config: SimulationConfig
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of a sweep: series x loads x seeds.
+
+    ``series`` maps labels to load-agnostic config builders; the offered load
+    and seed of every expanded job are applied on top of the built config.
+    """
+
+    series: Sequence[Tuple[str, ConfigBuilder]]
+    loads: Sequence[float]
+    seeds: int = 1
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        labels = [label for label, _ in self.series]
+        if len(labels) != len(set(labels)):
+            raise ValueError(f"duplicate series labels in sweep {self.name!r}: {labels}")
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+
+    def expand(self) -> List[Job]:
+        """Expand into independent jobs (deterministic order)."""
+        jobs: List[Job] = []
+        for label, builder in self.series:
+            base = builder()
+            for load in self.loads:
+                loaded = base.with_load(load)
+                for offset in range(self.seeds):
+                    config = loaded.with_seed(loaded.seed + offset)
+                    jobs.append(
+                        Job(
+                            key=config_key(config),
+                            series=label,
+                            load=load,
+                            seed=config.seed,
+                            config=config,
+                        )
+                    )
+        return jobs
+
+
+# ---------------------------------------------------------------------------
+# Result store
+# ---------------------------------------------------------------------------
+
+class ResultStore:
+    """JSON store of simulation results keyed by config hash.
+
+    The whole store is one file, rewritten atomically (tmp + rename) on
+    flush.  ``refresh=True`` turns reads into misses while still persisting
+    new results — the CLI's ``--force``.
+    """
+
+    def __init__(self, path: str, refresh: bool = False) -> None:
+        self.path = str(path)
+        self.refresh = refresh
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._results: Dict[str, dict] = {}
+        self._dirty = False
+        if os.path.exists(self.path):
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                # A damaged cache is no cache: start fresh rather than crash
+                # (results are recomputable by definition).
+                payload = {}
+            if isinstance(payload, dict) and payload.get("version") == STORE_VERSION:
+                self._results = payload.get("results", {})
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        if self.refresh:
+            return None
+        entry = self._results.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SimulationResult.from_dict(entry["result"])
+
+    def put(self, key: str, result: SimulationResult, meta: Optional[dict] = None) -> None:
+        self._results[key] = {"result": result.to_dict(), "meta": meta or {}}
+        self.writes += 1
+        self._dirty = True
+
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        payload = {"version": STORE_VERSION, "results": self._results}
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self.path)
+        finally:
+            if os.path.exists(tmp_path):  # pragma: no cover - error path
+                os.unlink(tmp_path)
+        self._dirty = False
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+def _execute_job(job: Job) -> Tuple[str, SimulationResult]:
+    """Top-level worker function (must be picklable for the process pool)."""
+    from ..simulation import Simulation
+
+    return job.key, Simulation(job.config).run()
+
+
+class SerialBackend:
+    """Run jobs one after another in this process."""
+
+    def run(self, jobs: Sequence[Job], on_result: Callable[[Job, SimulationResult], None]) -> None:
+        for job in jobs:
+            _, result = _execute_job(job)
+            on_result(job, result)
+
+
+class ProcessPoolBackend:
+    """Run jobs on a ``ProcessPoolExecutor`` (falls back to serial on failure).
+
+    Process pools can be unavailable (restricted sandboxes, missing
+    ``/dev/shm`` semaphores); in that case the sweep silently degrades to the
+    serial backend rather than failing — results are identical either way.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run(self, jobs: Sequence[Job], on_result: Callable[[Job, SimulationResult], None]) -> None:
+        try:
+            executor = ProcessPoolExecutor(max_workers=self.workers)
+        except OSError:  # pragma: no cover - environment-dependent
+            SerialBackend().run(jobs, on_result)
+            return
+        try:
+            pending = {executor.submit(_execute_job, job): job for job in jobs}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = pending.pop(future)
+                    _, result = future.result()
+                    on_result(job, result)
+        finally:
+            executor.shutdown()
+
+
+def make_backend(workers: Optional[int]):
+    workers = int(workers or 1)
+    return ProcessPoolBackend(workers) if workers > 1 else SerialBackend()
+
+
+# ---------------------------------------------------------------------------
+# Orchestration context
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OrchestrationContext:
+    """Process-wide execution defaults consulted by the sweep wrappers."""
+
+    workers: int = 1
+    store: Optional[ResultStore] = None
+
+
+_CONTEXT_STACK: List[OrchestrationContext] = [OrchestrationContext()]
+
+
+def current_context() -> OrchestrationContext:
+    return _CONTEXT_STACK[-1]
+
+
+@contextmanager
+def orchestration(
+    workers: int = 1,
+    store: Optional[ResultStore | str] = None,
+) -> Iterator[OrchestrationContext]:
+    """Install parallel/caching defaults for every sweep run inside the block.
+
+    ``store`` may be a :class:`ResultStore` or a path (a store is opened and
+    flushed on exit).
+    """
+    if isinstance(store, str):
+        store = ResultStore(store)
+    context = OrchestrationContext(workers=max(1, int(workers)), store=store)
+    _CONTEXT_STACK.append(context)
+    try:
+        yield context
+    finally:
+        _CONTEXT_STACK.pop()
+        if context.store is not None:
+            context.store.flush()
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, plus cache accounting."""
+
+    spec: SweepSpec
+    #: per-job results keyed by config hash.
+    raw: Dict[str, SimulationResult]
+    #: jobs in expansion order (for reassembly).
+    jobs: List[Job]
+    cache_hits: int = 0
+    executed: int = 0
+
+    def seed_results(self, series: str, load: float) -> List[SimulationResult]:
+        """Per-seed results of one point, in seed order."""
+        return [
+            self.raw[job.key]
+            for job in self.jobs
+            if job.series == series and job.load == load
+        ]
+
+    def point(self, series: str, load: float) -> SimulationResult:
+        """Seed-averaged result of one (series, load) point."""
+        from ..simulation import average_results
+
+        return average_results(self.seed_results(series, load))
+
+    def table(self) -> Dict[Tuple[str, float], SimulationResult]:
+        """All seed-averaged points keyed by ``(series_label, load)``."""
+        seen: Dict[Tuple[str, float], SimulationResult] = {}
+        for job in self.jobs:
+            key = (job.series, job.load)
+            if key not in seen:
+                seen[key] = self.point(job.series, job.load)
+        return seen
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[Job, SimulationResult], None]] = None,
+) -> Tuple[Dict[str, SimulationResult], int, int]:
+    """Execute jobs, serving duplicates and stored results from cache.
+
+    Returns ``(results_by_key, cache_hits, executed)``.  ``workers`` and
+    ``store`` default to the active :func:`orchestration` context.
+    """
+    context = current_context()
+    if workers is None:
+        workers = context.workers
+    if store is None:
+        store = context.store
+
+    results: Dict[str, SimulationResult] = {}
+    cache_hits = 0
+    pending: List[Job] = []
+    seen_keys: set = set()
+    for job in jobs:
+        if job.key in seen_keys:
+            continue
+        seen_keys.add(job.key)
+        cached = store.get(job.key) if store is not None else None
+        if cached is not None:
+            results[job.key] = cached
+            cache_hits += 1
+        else:
+            pending.append(job)
+
+    last_flush = time.monotonic()
+
+    def on_result(job: Job, result: SimulationResult) -> None:
+        nonlocal last_flush
+        results[job.key] = result
+        if store is not None:
+            store.put(
+                job.key,
+                result,
+                meta={"series": job.series, "load": job.load, "seed": job.seed},
+            )
+            # Periodic flush keeps interrupted sweeps resumable without
+            # rewriting the whole store once per completed job.
+            now = time.monotonic()
+            if now - last_flush >= FLUSH_INTERVAL_SECONDS:
+                store.flush()
+                last_flush = now
+        if progress is not None:
+            progress(job, result)
+
+    make_backend(workers).run(pending, on_result)
+    if store is not None:
+        store.flush()
+    return results, cache_hits, len(pending)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[Job, SimulationResult], None]] = None,
+) -> SweepOutcome:
+    """Expand a sweep specification and execute all of its jobs."""
+    jobs = spec.expand()
+    results, cache_hits, executed = run_jobs(jobs, workers=workers, store=store, progress=progress)
+    return SweepOutcome(
+        spec=spec, raw=results, jobs=jobs, cache_hits=cache_hits, executed=executed
+    )
+
+
+def run_seed_jobs(
+    config: SimulationConfig,
+    seeds: int,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> List[SimulationResult]:
+    """Run one configuration under ``seeds`` consecutive seeds (in seed order)."""
+    spec = SweepSpec(
+        series=[("point", lambda: config)],
+        loads=[config.traffic.load],
+        seeds=max(1, seeds),
+        name="seeds",
+    )
+    outcome = run_sweep(spec, workers=workers, store=store)
+    return outcome.seed_results("point", config.traffic.load)

@@ -16,7 +16,7 @@ endeavour, which is exactly the substitution documented in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..config import (
     NetworkConfig,
@@ -27,7 +27,8 @@ from ..config import (
 )
 from ..core.arrangement import VcArrangement
 from ..metrics import SimulationResult
-from ..simulation import Simulation, average_results
+from ..simulation import average_results
+from .orchestrator import ResultStore, SweepSpec, run_seed_jobs, run_sweep
 
 
 @dataclass(frozen=True)
@@ -104,7 +105,9 @@ def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
 # Configuration builders
 # ---------------------------------------------------------------------------
 
-ConfigBuilder = Callable[[float], SimulationConfig]
+#: A builder produces a complete load-agnostic configuration; the sweep
+#: drivers apply the offered load (and seeds) on top of it.
+ConfigBuilder = Callable[[], SimulationConfig]
 
 
 @dataclass
@@ -175,14 +178,23 @@ def base_config(
 
 
 # ---------------------------------------------------------------------------
-# Sweep drivers
+# Sweep drivers (thin wrappers over the orchestrator)
 # ---------------------------------------------------------------------------
+#
+# These keep the seed API but delegate to repro.experiments.orchestrator:
+# points become independent jobs, run serially or on a process pool
+# (``workers``, or the active ``orchestration(...)`` context) and served
+# from the JSON result store when one is installed.  Results are
+# bit-identical across backends because every job owns its RNG.
 
-def run_point(config: SimulationConfig, seeds: int = 1) -> SimulationResult:
+def run_point(
+    config: SimulationConfig,
+    seeds: int = 1,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> SimulationResult:
     """Run one configuration under ``seeds`` seeds and average."""
-    results = [
-        Simulation(config.with_seed(config.seed + i)).run() for i in range(max(1, seeds))
-    ]
+    results = run_seed_jobs(config, max(1, seeds), workers=workers, store=store)
     return average_results(results)
 
 
@@ -190,13 +202,20 @@ def load_sweep(
     series: Sequence[Series],
     loads: Iterable[float],
     seeds: int = 1,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> List[Series]:
     """Run every series at every offered load (latency/throughput curves)."""
     loads = list(loads)
+    spec = SweepSpec(
+        series=[(entry.label, entry.builder) for entry in series],
+        loads=loads,
+        seeds=max(1, seeds),
+        name="load_sweep",
+    )
+    outcome = run_sweep(spec, workers=workers, store=store)
     for entry in series:
-        entry.results = [
-            run_point(entry.builder(load).with_load(load), seeds) for load in loads
-        ]
+        entry.results = [outcome.point(entry.label, load) for load in loads]
     return list(series)
 
 
@@ -204,6 +223,8 @@ def max_throughput(
     series: Sequence[Series],
     seeds: int = 1,
     saturation_load: float = 1.0,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> List[Series]:
     """Accepted load at full offered load (the paper's "maximum throughput")."""
-    return load_sweep(series, [saturation_load], seeds)
+    return load_sweep(series, [saturation_load], seeds, workers=workers, store=store)

@@ -4,6 +4,12 @@ A :class:`Link` is unidirectional.  The forward direction carries packets
 (serialized at one phit per cycle, then ``latency`` cycles of flight time);
 the reverse direction of the paired link carries credit returns, modelled as
 latency-only messages (credits are tiny compared to packets).
+
+Both directions participate in the engine's activity tracking: a packet
+delivery lands in :meth:`Router.receive_network`, which re-activates the
+downstream router, and a :class:`CreditChannel` invokes its ``on_activity``
+hook after crediting the upstream tracker so the upstream router is stepped
+again even if it had gone idle while waiting for credits.
 """
 
 from __future__ import annotations
@@ -72,10 +78,28 @@ class CreditChannel:
         self.engine = engine
         self.latency = latency
         self._sink: Optional[Callable[[int, int, bool], None]] = None
+        self._deliver: Optional[Callable[[int, int, bool], None]] = None
 
-    def connect(self, sink: Callable[[int, int, bool], None]) -> None:
-        """Attach the upstream callback ``sink(vc, phits, minimal)``."""
+    def connect(
+        self,
+        sink: Callable[[int, int, bool], None],
+        on_activity: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Attach the upstream callback ``sink(vc, phits, minimal)``.
+
+        ``on_activity`` (typically the upstream router's ``wake``) is invoked
+        after every credit return so the activity-tracked engine steps the
+        upstream router again.
+        """
         self._sink = sink
+        if on_activity is None:
+            self._deliver = sink
+        else:
+            def deliver(vc: int, phits: int, minimal: bool) -> None:
+                sink(vc, phits, minimal)
+                on_activity()
+
+            self._deliver = deliver
 
     @property
     def connected(self) -> bool:
@@ -83,9 +107,9 @@ class CreditChannel:
 
     def send_credit(self, vc: int, phits: int, minimal: bool, now: int) -> None:
         """Return ``phits`` of credit for ``vc`` after the channel latency."""
-        if self._sink is None:
+        if self._deliver is None:
             raise RuntimeError("credit channel is not connected to an upstream tracker")
         self.engine.schedule(
             now + self.latency,
-            lambda t, v=vc, p=phits, m=minimal: self._sink(v, p, m),
+            lambda t, v=vc, p=phits, m=minimal: self._deliver(v, p, m),
         )

@@ -9,10 +9,25 @@ phits delivered inside the window divided by ``nodes x window``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 from .packet import Packet
+
+
+class ResidentLedger:
+    """Network-wide count of packets resident in router input buffers.
+
+    One ledger is shared by all routers of a simulation; ``receive_network``
+    increments it and popping a network input port decrements it, which makes
+    ``Simulation.total_resident_packets`` (and the deadlock heuristic) O(1)
+    instead of a sum over every router.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
 
 
 @dataclass
@@ -37,6 +52,15 @@ class SimulationResult:
             f"offered={self.offered_load:.3f} accepted={self.accepted_load:.3f} "
             f"latency={self.average_latency:.1f}cy delivered={self.packets_delivered}"
         )
+
+    # -- persistence (orchestrator result store) --------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation used by the experiment result store."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        return cls(**data)
 
 
 class MetricsCollector:

@@ -36,6 +36,8 @@ class Packet:
     pid: int = field(default_factory=lambda: next(_packet_ids))
 
     # -- routing state -------------------------------------------------------
+    #: destination router, resolved lazily on first routing plan (-1 until then).
+    dst_router: int = -1
     route_kind: RouteKind = RouteKind.MINIMAL
     #: True once the injection-time routing decision (MIN vs Valiant) is made.
     route_decided: bool = False

@@ -21,7 +21,7 @@ from typing import Dict, Hashable, List, Optional
 from ..packet import Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One input port's proposal for the current allocation iteration."""
 
@@ -52,6 +52,11 @@ class SeparableAllocator:
         ``requests`` must contain at most one entry per input port (the input
         stage guarantees this).  Returns the granted subset.
         """
+        if len(requests) == 1:
+            # Uncontended fast path; the priority still rotates exactly as in
+            # the general case so arbitration history is unchanged.
+            self._priority = (self._priority + 1) % self.num_inputs
+            return requests
         by_resource: Dict[Hashable, List[Request]] = {}
         for request in requests:
             by_resource.setdefault(request.resource, []).append(request)

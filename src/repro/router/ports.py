@@ -52,6 +52,10 @@ class InputPort:
         self.xbar_busy_until = 0
         #: number of packets currently resident in the port.
         self.resident_packets = 0
+        #: earliest cycle at which any head packet clears the pipeline; the
+        #: allocator skips the whole port while ``min_ready`` is in the future
+        #: (only meaningful while ``resident_packets > 0``).
+        self.min_ready = 0
 
     # -- arrival --------------------------------------------------------------
     def receive(self, packet: Packet, vc: int, now: int) -> None:
@@ -59,8 +63,11 @@ class InputPort:
         the router pipeline latency."""
         self.buffer.allocate(vc, packet.size_phits)
         packet.current_vc = vc
-        self.queues[vc].append((packet, now + self.pipeline_latency))
+        ready = now + self.pipeline_latency
+        self.queues[vc].append((packet, ready))
         self.resident_packets += 1
+        if self.resident_packets == 1 or ready < self.min_ready:
+            self.min_ready = ready
 
     # -- head access -------------------------------------------------------------
     def head(self, vc: int, now: int) -> Optional[Packet]:
@@ -76,9 +83,46 @@ class InputPort:
         packet, _ = self.queues[vc].popleft()
         self.buffer.release(vc, packet.size_phits)
         self.resident_packets -= 1
+        if self.resident_packets:
+            min_ready = -1
+            for queue in self.queues:
+                if queue:
+                    ready = queue[0][1]
+                    if min_ready < 0 or ready < min_ready:
+                        min_ready = ready
+            self.min_ready = min_ready
         if self.credit_channel is not None:
             self.credit_channel.send_credit(vc, packet.size_phits, minimal, now)
         return packet
+
+    def has_head_ready_in(self, after: int, now: int) -> bool:
+        """Any head packet that became routable in the window ``(after, now]``?
+
+        Used to invalidate a recorded allocation blockage: heads that cleared
+        the router pipeline after the blockage verdict were never evaluated
+        by it.
+        """
+        for queue in self.queues:
+            if queue:
+                ready = queue[0][1]
+                if after < ready <= now:
+                    return True
+        return False
+
+    def next_head_ready_after(self, now: int) -> int:
+        """Earliest head-packet ready time strictly after ``now`` (-1 if none).
+
+        Needed when the port already has a routable-but-blocked head: the
+        next head to clear the pipeline must re-trigger allocation even
+        though ``min_ready`` is already in the past.
+        """
+        next_ready = -1
+        for queue in self.queues:
+            if queue:
+                ready = queue[0][1]
+                if ready > now and (next_ready < 0 or ready < next_ready):
+                    next_ready = ready
+        return next_ready
 
     def occupancy(self, vc: int) -> int:
         return self.buffer.occupancy(vc)
@@ -102,13 +146,16 @@ class OutputPort:
         self.credits = credit_tracker
         self.output_buffer_capacity = output_buffer_phits
         self.output_buffer_occupancy = 0
-        #: packets that have crossed (or are crossing) the crossbar, waiting
-        #: for the link: (packet, out_vc, ready_cycle).
-        self.send_queue: Deque[tuple[Packet, int, int]] = deque()
+        #: (cycle, phits) reclamations applied lazily by buffer_space_for —
+        #: cheaper than scheduling one engine event per transmitted packet.
+        self._pending_releases: Deque[tuple[int, int]] = deque()
         self.xbar_busy_until = 0
         self.link: Optional[Link] = None
-        #: grants handed out in the current cycle (bounded by the speedup).
+        #: grants handed out in the cycle ``grant_stamp`` (bounded by the
+        #: speedup); the stamp makes the counter self-resetting, so the
+        #: allocator never has to sweep output ports at the top of a cycle.
         self.grants_this_cycle = 0
+        self.grant_stamp = -1
         #: utilization accounting.
         self.packets_forwarded = 0
 
@@ -116,24 +163,37 @@ class OutputPort:
         self.link = link
 
     # -- admission -----------------------------------------------------------------
-    def buffer_space_for(self, phits: int) -> bool:
+    def buffer_space_for(self, phits: int, now: Optional[int] = None) -> bool:
+        """Room for ``phits`` in the output buffer (after matured releases)?
+
+        ``now`` lets the port apply pending lazy reclamations first; omit it
+        for a pure occupancy check (e.g. the post-grant assertion).
+        """
+        if now is not None:
+            pending = self._pending_releases
+            while pending and pending[0][0] <= now:
+                self.output_buffer_occupancy -= pending.popleft()[1]
         return self.output_buffer_occupancy + phits <= self.output_buffer_capacity
 
-    def accept(self, packet: Packet, out_vc: int, ready_cycle: int) -> None:
-        """Reserve output-buffer space for a granted packet."""
+    def schedule_release(self, cycle: int, phits: int) -> None:
+        """Reclaim ``phits`` of output buffer at ``cycle`` (applied lazily).
+
+        Transmissions finish in FIFO order on the single attached link, so
+        the pending queue is naturally sorted by cycle.
+        """
+        self._pending_releases.append((cycle, phits))
+
+    def accept(self, packet: Packet) -> None:
+        """Reserve output-buffer space for a granted packet.
+
+        The transmission itself is scheduled by the router at grant time
+        (its start cycle is fully determined by the crossbar and link
+        timers), so the port only accounts for the buffered phits here.
+        """
         if not self.buffer_space_for(packet.size_phits):
             raise RuntimeError("output buffer overflow — allocator must check space first")
         self.output_buffer_occupancy += packet.size_phits
-        self.send_queue.append((packet, out_vc, ready_cycle))
         self.packets_forwarded += 1
-
-    def release_buffer(self, phits: int) -> None:
-        if phits > self.output_buffer_occupancy:
-            raise RuntimeError("output buffer underflow")
-        self.output_buffer_occupancy -= phits
-
-    def has_pending(self) -> bool:
-        return bool(self.send_queue)
 
 
 class EjectionPort:

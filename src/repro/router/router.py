@@ -14,7 +14,6 @@ Dragonfly) a reference to its group's saturation board.
 
 from __future__ import annotations
 
-import math
 import random
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
@@ -26,6 +25,7 @@ from ..config import RouterConfig, RoutingConfig
 from ..core.arrangement import VcArrangement
 from ..core.link_types import LinkType, MessageClass
 from ..core.vc_selection import VcSelection
+from ..metrics import ResidentLedger
 from ..packet import Packet
 from ..routing.base import CandidateHop, EjectionRequest, RoutingAlgorithm
 from ..topology.base import Topology
@@ -36,6 +36,9 @@ from .saturation import SaturationBoard
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine import Engine
+
+#: sentinel "no deterministic retry time" (asynchronous wake only).
+NEVER = 1 << 62
 
 
 def make_port_buffer(
@@ -149,9 +152,29 @@ class Router:
         self._alloc_inputs: List[InputPort] = list(self.injection_ports) + [
             self.input_ports[port] for port in sorted(self.input_ports)
         ]
+        self._output_list: List[OutputPort] = list(self.output_ports.values())
         self.allocator = SeparableAllocator(len(self._alloc_inputs))
-        self._grant_cycle = -1
         self.resident_packets = 0
+
+        # -- activity tracking ---------------------------------------------------------
+        #: index assigned by Engine.register_router; -1 until registered.
+        self.engine_index = -1
+        #: bound active-set insert, installed by Engine.register_router.
+        self.engine_activate: Optional[Callable[[int], None]] = None
+        #: O(1) work counters so has_work() never scans queues.
+        self._source_backlog = 0
+        self._injection_resident = 0
+        #: cycle of the outstanding pipeline-wake event (-1 when none).
+        self._next_wake = -1
+        #: result of the last request-less allocation pass: the earliest cycle
+        #: a retry could succeed (NEVER = only an async event can unblock),
+        #: or -1 when allocation is not known to be blocked.  Reset by wake().
+        self._alloc_sleep_until = -1
+        #: cycle at which that pass ran — heads that clear the router
+        #: pipeline later were not part of the verdict and invalidate it.
+        self._alloc_blocked_at = -1
+        #: shared network-wide resident-packet counter (see Simulation).
+        self.resident_ledger: Optional[ResidentLedger] = None
 
         # -- statistics ---------------------------------------------------------------
         self.packets_injected = 0
@@ -163,11 +186,27 @@ class Router:
     # ------------------------------------------------------------------
     def attach_saturation_board(self, board: SaturationBoard) -> None:
         self.saturation_board = board
+        self.wake()
+
+    def wake(self) -> None:
+        """Re-register with the engine's active set (idempotent).
+
+        Every wake signals a state change (arrival, credit return, timer
+        expiry), so any recorded allocation blockage is stale and dropped.
+        """
+        self._alloc_sleep_until = -1
+        if self.engine_activate is not None:
+            self.engine_activate(self.engine_index)
 
     def receive_network(self, packet: Packet, port: int, vc: int, now: int) -> None:
         """Deliver a packet arriving from a link into input ``port`` / VC ``vc``."""
         self.input_ports[port].receive(packet, vc, now)
         self.resident_packets += 1
+        if self.resident_ledger is not None:
+            self.resident_ledger.count += 1
+        self._alloc_sleep_until = -1
+        if self.engine_activate is not None:
+            self.engine_activate(self.engine_index)
 
     def enqueue_source(self, packet: Packet, now: int) -> None:
         """Queue a newly generated packet at its source node."""
@@ -178,27 +217,83 @@ class Router:
             )
         packet.created_at = packet.created_at if packet.created_at else now
         self.source_queues[local].append(packet)
+        self._source_backlog += 1
+        self.wake()
 
     def has_work(self) -> bool:
+        """Does stepping this router this cycle have any possible effect?
+
+        A step is a no-op — it touches no state and draws no randomness —
+        when every pending activity is gated on a future cycle: source
+        packets still serializing into their injection buffers, and buffered
+        packets still traversing the router pipeline (granted packets need
+        no stepping at all — their transmission is scheduled as an event at
+        grant time).  All remaining deadlines are known and can only move
+        through events that re-activate this router, so instead of being
+        polled the router sleeps and schedules a wake for the earliest of
+        them.  Skipping the no-op cycles is therefore bit-identical to the
+        polled execution model.
+        """
         if self.saturation_board is not None:
             # Piggyback needs fresh saturation bits even while the router is
             # otherwise idle (outstanding downstream credits keep draining).
             return True
-        if self.resident_packets > 0:
-            return True
-        if any(self.source_queues):
-            return True
-        if any(port.resident_packets for port in self.injection_ports):
-            return True
-        return any(op.has_pending() for op in self.output_ports.values())
+        now = self.engine.now
+        blocked = self._alloc_sleep_until
+        if blocked >= 0:
+            if blocked <= now:
+                # The deterministic blocker expired.
+                self._alloc_sleep_until = blocked = -1
+            else:
+                # The verdict only covers heads that were routable when it
+                # was recorded; a head that cleared the pipeline since then
+                # was never evaluated and invalidates it.
+                blocked_at = self._alloc_blocked_at
+                for port in self._alloc_inputs:
+                    if (port.resident_packets and port.min_ready <= now
+                            and port.has_head_ready_in(blocked_at, now)):
+                        self._alloc_sleep_until = blocked = -1
+                        break
+        earliest = -1
+        if self.resident_packets or self._injection_resident:
+            for port in self._alloc_inputs:
+                if port.resident_packets:
+                    ready = port.min_ready
+                    if ready <= now:
+                        if blocked < 0:
+                            return True
+                        if blocked < NEVER and (earliest < 0 or blocked < earliest):
+                            earliest = blocked
+                        # Heads behind the blocked one still need a timed
+                        # wake when they clear the pipeline.
+                        upcoming = port.next_head_ready_after(now)
+                        if upcoming >= 0 and (earliest < 0 or upcoming < earliest):
+                            earliest = upcoming
+                    elif earliest < 0 or ready < earliest:
+                        earliest = ready
+        if self._source_backlog:
+            for local in range(self.num_nodes):
+                if self.source_queues[local]:
+                    busy = self.injection_busy_until[local]
+                    if busy <= now:
+                        return True
+                    if earliest < 0 or busy < earliest:
+                        earliest = busy
+        if earliest >= 0 and self._next_wake != earliest:
+            self._next_wake = earliest
+            self.engine.schedule_wake(earliest, self.engine_index)
+        return False
 
     # ------------------------------------------------------------------
     # Per-cycle operation
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
-        self._inject_from_sources(now)
-        self._allocate(now)
-        self._transmit(now)
+        if self._source_backlog:
+            self._inject_from_sources(now)
+        if self.resident_packets or self._injection_resident:
+            blocked = self._alloc_sleep_until
+            if blocked < 0 or blocked <= now:
+                self._allocate(now)
         if self.saturation_board is not None:
             self._update_saturation()
 
@@ -219,8 +314,10 @@ class Router:
             if best_vc < 0:
                 continue
             queue.popleft()
+            self._source_backlog -= 1
             # The packet finishes serializing from the node after size cycles.
             port.receive(packet, best_vc, now + packet.size_phits)
+            self._injection_resident += 1
             self.injection_busy_until[local] = now + packet.size_phits
             packet.injected_at = now
             self.packets_injected += 1
@@ -229,60 +326,135 @@ class Router:
 
     # -- allocation ---------------------------------------------------------------------
     def _allocate(self, now: int) -> None:
-        if self._grant_cycle != now:
-            self._grant_cycle = now
-            for op in self.output_ports.values():
-                op.grants_this_cycle = 0
-        for _ in range(self.speedup):
+        """One cycle of iterative input-first separable allocation.
+
+        The input stage (round-robin VC pick, plan lookup, ejection/credit/
+        output admission) is inlined into this loop: it runs for every active
+        router every cycle, and the flat form saves several Python calls per
+        proposal while remaining check-for-check identical to the layered
+        original.
+        """
+        self._alloc_sleep_until = -1
+        alloc_inputs = self._alloc_inputs
+        output_ports = self.output_ports
+        speedup = self.speedup
+        router_id = self.router_id
+        first_node = self.nodes[0]
+        choose = self.selection.choose
+        rng = self.rng
+        reject_until = NEVER
+        for iteration in range(speedup):
             requests: List[Request] = []
-            for index, port in enumerate(self._alloc_inputs):
-                if port.xbar_busy_until > now:
+            retry = NEVER
+            for index, port in enumerate(alloc_inputs):
+                # Skip empty ports and ports whose every head packet is still
+                # in the router pipeline — the scan below could not find a
+                # packet, so the skip is behaviour-identical but O(1).
+                if port.resident_packets == 0:
                     continue
-                if port.resident_packets == 0 and not port.is_injection:
+                busy = port.xbar_busy_until
+                if busy > now:
+                    if busy < retry:
+                        retry = busy
                     continue
-                request = self._propose(index, port, now)
-                if request is not None:
-                    requests.append(request)
+                if port.min_ready > now:
+                    continue
+                # Input stage: pick one requestable head packet (round-robin).
+                num_vcs = port.num_vcs
+                queues = port.queues
+                rr_pointer = port.rr_pointer
+                for offset in range(num_vcs):
+                    vc = rr_pointer + offset
+                    if vc >= num_vcs:
+                        vc -= num_vcs
+                    queue = queues[vc]
+                    if not queue:
+                        continue
+                    packet, ready = queue[0]
+                    if ready > now:
+                        continue
+                    cache = packet.plan_cache
+                    if cache is not None and cache[0] == router_id and cache[1] == vc:
+                        plan = cache[2]
+                    else:
+                        plan = self._plan_for(port, vc, packet)
+                    request = None
+                    if type(plan) is EjectionRequest:
+                        local = plan.node - first_node
+                        ejection = self.ejection_ports[local][plan.msg_class]
+                        ejection_busy = ejection.busy_until
+                        if ejection_busy > now:
+                            if ejection_busy < reject_until:
+                                reject_until = ejection_busy
+                            continue
+                        request = Request(
+                            input_index=index,
+                            input_vc=vc,
+                            packet=packet,
+                            resource=("eject", local, plan.msg_class),
+                            candidate=plan,
+                        )
+                    else:
+                        size = packet.size_phits
+                        for candidate in plan:
+                            op = output_ports[candidate.out_port]
+                            out_busy = op.xbar_busy_until
+                            if out_busy > now:
+                                if out_busy < reject_until:
+                                    reject_until = out_busy
+                                continue
+                            if op.grant_stamp == now and op.grants_this_cycle >= speedup:
+                                if now + 1 < reject_until:
+                                    reject_until = now + 1
+                                continue
+                            if not op.buffer_space_for(size, now):
+                                # Output-buffer reclamations are lazy, not
+                                # wake events: poll again next cycle.
+                                if now + 1 < reject_until:
+                                    reject_until = now + 1
+                                continue
+                            tracker = op.credits
+                            vc_range = candidate.vc_range
+                            candidates: List[int] = []
+                            free: List[int] = []
+                            for out_vc in range(vc_range.lo, vc_range.hi + 1):
+                                space = tracker.free_for(out_vc)
+                                if space >= size:
+                                    candidates.append(out_vc)
+                                    free.append(space)
+                            if not candidates:
+                                continue
+                            request = Request(
+                                input_index=index,
+                                input_vc=vc,
+                                packet=packet,
+                                resource=("out", candidate.out_port),
+                                out_vc=choose(candidates, free, rng),
+                                candidate=candidate,
+                            )
+                            break
+                    if request is not None:
+                        next_vc = vc + 1
+                        port.rr_pointer = 0 if next_vc >= num_vcs else next_vc
+                        requests.append(request)
+                        break
             if not requests:
+                if iteration == 0 and self.saturation_board is None:
+                    # Nothing was requestable: record the earliest cycle a
+                    # deterministic blocker (crossbar, ejection port, grant
+                    # cap) expires so has_work() can sleep until then; async
+                    # blockers (credits) re-activate the router via wake().
+                    # Piggyback routers are exempt: they are stepped every
+                    # cycle regardless (saturation sensing), and their
+                    # injection decisions read time-varying congestion state,
+                    # so skipping allocation passes would change results.
+                    if reject_until < retry:
+                        retry = reject_until
+                    self._alloc_sleep_until = retry
+                    self._alloc_blocked_at = now
                 break
             for grant in self.allocator.arbitrate(requests):
                 self._execute_grant(grant, now)
-
-    def _propose(self, input_index: int, port: InputPort, now: int) -> Optional[Request]:
-        """Input stage: pick one requestable head packet from ``port`` (round-robin)."""
-        num_vcs = port.num_vcs
-        for offset in range(num_vcs):
-            vc = (port.rr_pointer + offset) % num_vcs
-            packet = port.head(vc, now)
-            if packet is None:
-                continue
-            request = self._request_for(input_index, port, vc, packet, now)
-            if request is not None:
-                port.rr_pointer = (vc + 1) % num_vcs
-                return request
-        return None
-
-    def _request_for(
-        self, input_index: int, port: InputPort, vc: int, packet: Packet, now: int
-    ) -> Optional[Request]:
-        plan = self._plan_for(port, vc, packet)
-        if isinstance(plan, EjectionRequest):
-            local = plan.node - self.nodes[0]
-            ejection = self.ejection_ports[local][plan.msg_class]
-            if not ejection.idle_at(now):
-                return None
-            return Request(
-                input_index=input_index,
-                input_vc=vc,
-                packet=packet,
-                resource=("eject", local, plan.msg_class),
-                candidate=plan,
-            )
-        for candidate in plan:
-            request = self._forward_request(input_index, vc, packet, candidate, now)
-            if request is not None:
-                return request
-        return None
 
     def _plan_for(self, port: InputPort, vc: int, packet: Packet):
         cache = packet.plan_cache
@@ -294,34 +466,6 @@ class Router:
         packet.plan_cache = (self.router_id, vc, plan)
         return plan
 
-    def _forward_request(
-        self, input_index: int, vc: int, packet: Packet,
-        candidate: CandidateHop, now: int,
-    ) -> Optional[Request]:
-        op = self.output_ports[candidate.out_port]
-        if op.xbar_busy_until > now or op.grants_this_cycle >= self.speedup:
-            return None
-        if not op.buffer_space_for(packet.size_phits):
-            return None
-        tracker = op.credits
-        candidates: List[int] = []
-        free: List[int] = []
-        for out_vc in candidate.vc_range:
-            if tracker.can_send(out_vc, packet.size_phits):
-                candidates.append(out_vc)
-                free.append(tracker.free_for(out_vc))
-        if not candidates:
-            return None
-        chosen = self.selection.choose(candidates, free, self.rng)
-        return Request(
-            input_index=input_index,
-            input_vc=vc,
-            packet=packet,
-            resource=("out", candidate.out_port),
-            out_vc=chosen,
-            candidate=candidate,
-        )
-
     def _execute_grant(self, grant: Request, now: int) -> None:
         port = self._alloc_inputs[grant.input_index]
         packet = grant.packet
@@ -330,12 +474,18 @@ class Router:
             return
         candidate: CandidateHop = grant.candidate
         op = self.output_ports[candidate.out_port]
-        xbar_time = max(1, math.ceil(packet.size_phits / self.speedup))
-        minimal_tag = packet.is_minimal and not candidate.abandons_detour
+        # Integer ceiling of size/speedup (avoids math.ceil + float division).
+        xbar_time = -(-packet.size_phits // self.speedup)
+        if xbar_time < 1:
+            xbar_time = 1
         # Pop from the input buffer (returns credits upstream for network ports).
         port.pop(grant.input_vc, now, packet.credit_tag_minimal)
-        if not port.is_injection:
+        if port.is_injection:
+            self._injection_resident -= 1
+        else:
             self.resident_packets -= 1
+            if self.resident_ledger is not None:
+                self.resident_ledger.count -= 1
         # Debit downstream credits under the packet's (possibly updated) class.
         self.routing.on_hop_taken(packet, candidate)
         minimal_tag = packet.is_minimal
@@ -343,8 +493,24 @@ class Router:
         packet.credit_tag_minimal = minimal_tag
         port.xbar_busy_until = now + xbar_time
         op.xbar_busy_until = now + xbar_time
+        if op.grant_stamp != now:
+            op.grant_stamp = now
+            op.grants_this_cycle = 0
         op.grants_this_cycle += 1
-        op.accept(packet, grant.out_vc, ready_cycle=now + xbar_time)
+        op.accept(packet)
+        # Transmission timing is fully determined here (FIFO link, known
+        # crossbar and serialization delays), so the send is scheduled now
+        # instead of polling an output queue every cycle: the packet starts
+        # serializing once it has crossed the crossbar and the link is free.
+        link = op.link
+        if link is None:
+            raise RuntimeError(f"output port {op.port_id} of router {self.router_id} "
+                               "has no link attached")
+        start = now + xbar_time
+        if link.busy_until > start:
+            start = link.busy_until
+        tail_out = link.transmit(packet, grant.out_vc, start)
+        op.schedule_release(tail_out, packet.size_phits)
         if not packet.is_minimal and packet.hops == 1:
             self.misrouted_packets += 1
 
@@ -354,31 +520,17 @@ class Router:
         local = request.node - self.nodes[0]
         ejection = self.ejection_ports[local][request.msg_class]
         port.pop(grant.input_vc, now, packet.credit_tag_minimal)
-        if not port.is_injection:
+        if port.is_injection:
+            self._injection_resident -= 1
+        else:
             self.resident_packets -= 1
+            if self.resident_ledger is not None:
+                self.resident_ledger.count -= 1
         done = ejection.consume(packet, now)
         packet.delivered_at = done
         packet.plan_cache = None
         self.packets_delivered += 1
         self.engine.schedule(done, lambda t, p=packet: self.on_delivery(p, t))
-
-    # -- transmission ------------------------------------------------------------------------
-    def _transmit(self, now: int) -> None:
-        for op in self.output_ports.values():
-            if not op.send_queue:
-                continue
-            link = op.link
-            if link is None:
-                raise RuntimeError(f"output port {op.port_id} of router {self.router_id} "
-                                   "has no link attached")
-            packet, out_vc, ready = op.send_queue[0]
-            if ready > now or not link.idle_at(now):
-                continue
-            op.send_queue.popleft()
-            tail_out = link.transmit(packet, out_vc, now)
-            self.engine.schedule(
-                tail_out, lambda t, o=op, size=packet.size_phits: o.release_buffer(size)
-            )
 
     # -- congestion sensing --------------------------------------------------------------------
     def _update_saturation(self) -> None:

@@ -40,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..router.router import Router
 
 
-@dataclass
+@dataclass(slots=True)
 class CandidateHop:
     """One admissible forwarding option for a head packet."""
 
@@ -55,7 +55,7 @@ class CandidateHop:
     abandons_detour: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class EjectionRequest:
     """The packet has reached its destination router and awaits consumption."""
 
@@ -93,6 +93,15 @@ class RoutingAlgorithm(ABC):
             self.phase_ref = self._max_min_hop_counts()
         else:
             self.phase_ref = (max(2, topology.diameter), 0)
+        #: memoized candidate hops — the construction is a pure function of
+        #: (location, target, destination, class, input, phase state), and
+        #: :class:`CandidateHop` objects are immutable in practice, so the
+        #: same instance is shared by every packet in the same situation.
+        self._candidate_cache: dict = {}
+        #: memoized whole plans for the minimal branch (same purity argument;
+        #: plan lists are shared and never mutated), and ejection requests.
+        self._plan_memo: dict = {}
+        self._ejection_memo: dict = {}
 
     def _max_min_hop_counts(self) -> tuple[int, int]:
         """Worst-case (local, global) hops of a minimal path in the topology."""
@@ -127,9 +136,17 @@ class RoutingAlgorithm(ABC):
     ) -> Plan:
         """Forwarding plan for ``packet`` currently heading a queue at ``router``."""
         here = router.router_id
-        dst_router = self.topology.router_of_node(packet.dst_node)
+        dst_router = packet.dst_router
+        if dst_router < 0:
+            dst_router = self.topology.router_of_node(packet.dst_node)
+            packet.dst_router = dst_router
         if dst_router == here:
-            return EjectionRequest(node=packet.dst_node, msg_class=packet.msg_class)
+            eject_key = (packet.dst_node, packet.msg_class)
+            ejection = self._ejection_memo.get(eject_key)
+            if ejection is None:
+                ejection = EjectionRequest(node=packet.dst_node, msg_class=packet.msg_class)
+                self._ejection_memo[eject_key] = ejection
+            return ejection
 
         if not packet.route_decided:
             self.decide_at_injection(router, packet)
@@ -142,8 +159,8 @@ class RoutingAlgorithm(ABC):
                 # the intermediate equals the source router's neighbourhood).
                 self._enter_second_phase(packet)
 
-        candidates: List[CandidateHop] = []
         if packet.route_kind == RouteKind.VALIANT and not packet.intermediate_reached:
+            candidates: List[CandidateHop] = []
             detour = self._candidate_towards(
                 router, packet, packet.intermediate_router, input_type, input_vc,
                 is_detour=True,
@@ -157,13 +174,23 @@ class RoutingAlgorithm(ABC):
                     )
                     if escape is not None:
                         candidates.append(escape)
-        else:
+            return candidates
+
+        # Minimal continuation (MIN packets, and Valiant packets past their
+        # intermediate — both take the same minimal path from here): the whole
+        # plan is a pure function of this key, so memoize it.
+        key = (
+            here, dst_router, packet.msg_class, input_type, input_vc,
+            packet.phase_offsets, packet.phase_position, packet.phase_global_taken,
+        )
+        cached = self._plan_memo.get(key)
+        if cached is None:
             direct = self._candidate_towards(
                 router, packet, dst_router, input_type, input_vc, is_detour=False
             )
-            if direct is not None:
-                candidates.append(direct)
-        return candidates
+            cached = [direct] if direct is not None else []
+            self._plan_memo[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Candidate construction helpers
@@ -178,9 +205,40 @@ class RoutingAlgorithm(ABC):
         is_detour: bool,
         abandons_detour: bool = False,
     ) -> Optional[CandidateHop]:
-        """Build the candidate for the next minimal hop towards ``target_router``."""
+        """Candidate for the next minimal hop towards ``target_router`` (memoized).
+
+        ``plan`` only requests detours towards ``packet.intermediate_router``,
+        so the cache key below captures every packet attribute the
+        construction reads.
+        """
         here = router.router_id
-        dst_router = self.topology.router_of_node(packet.dst_node)
+        dst_router = packet.dst_router  # resolved by plan() before this point
+        key = (
+            here, target_router, dst_router, packet.msg_class,
+            input_type, input_vc, packet.phase_offsets, packet.phase_position,
+            packet.phase_global_taken, is_detour, abandons_detour,
+        )
+        try:
+            return self._candidate_cache[key]
+        except KeyError:
+            candidate = self._build_candidate(
+                here, dst_router, packet, target_router, input_type, input_vc,
+                is_detour, abandons_detour,
+            )
+            self._candidate_cache[key] = candidate
+            return candidate
+
+    def _build_candidate(
+        self,
+        here: int,
+        dst_router: int,
+        packet: Packet,
+        target_router: int,
+        input_type: Optional[LinkType],
+        input_vc: int,
+        is_detour: bool,
+        abandons_detour: bool,
+    ) -> Optional[CandidateHop]:
         out_port = self.topology.min_next_port(here, target_router)
         if out_port is None:
             return None

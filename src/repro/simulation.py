@@ -17,7 +17,7 @@ from .core.link_types import LinkType
 from .core.vc_selection import make_selection
 from .engine import Engine
 from .link import CreditChannel, Link
-from .metrics import MetricsCollector, SimulationResult
+from .metrics import MetricsCollector, ResidentLedger, SimulationResult
 from .router.router import Router
 from .router.saturation import SaturationBoard
 from .routing import make_routing
@@ -60,6 +60,8 @@ class Simulation:
         )
         self.routers: List[Router] = []
         self.traffic: Optional[TrafficManager] = None
+        #: O(1) network-wide resident-packet counter shared by all routers.
+        self._resident_ledger = ResidentLedger()
         self._build_routers()
         self._wire_links()
         self._attach_saturation_boards()
@@ -82,6 +84,7 @@ class Simulation:
                 rng=self.rng,
                 on_delivery=self._on_delivery,
             )
+            router.resident_ledger = self._resident_ledger
             self.routers.append(router)
             self.engine.register_router(router)
 
@@ -115,7 +118,10 @@ class Simulation:
                 )
                 upstream.output_ports[info.port].attach_link(link)
                 channel = CreditChannel(self.engine, latency)
-                channel.connect(upstream.output_ports[info.port].credits.credit)
+                channel.connect(
+                    upstream.output_ports[info.port].credits.credit,
+                    on_activity=upstream.wake,
+                )
                 downstream.input_ports[back_port].credit_channel = channel
 
     def _attach_saturation_boards(self) -> None:
@@ -166,9 +172,8 @@ class Simulation:
         )
 
     def _deadlock_suspected(self) -> bool:
-        """No delivery for a long stretch while packets remain in flight."""
-        resident = sum(router.resident_packets for router in self.routers)
-        if resident == 0:
+        """No delivery for a long stretch while packets remain in flight (O(1))."""
+        if self._resident_ledger.count == 0:
             return False
         last = self.metrics.last_delivery_cycle
         if last < 0:
@@ -177,7 +182,8 @@ class Simulation:
 
     # -- diagnostics -----------------------------------------------------------------
     def total_resident_packets(self) -> int:
-        return sum(router.resident_packets for router in self.routers)
+        """Packets resident in network input buffers, maintained incrementally."""
+        return self._resident_ledger.count
 
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
@@ -185,9 +191,21 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     return Simulation(config).run()
 
 
-def run_seeds(config: SimulationConfig, seeds: int = 3) -> List[SimulationResult]:
-    """Run the same configuration under several seeds (the paper averages 5)."""
-    return [Simulation(config.with_seed(config.seed + i)).run() for i in range(seeds)]
+def run_seeds(
+    config: SimulationConfig,
+    seeds: int = 3,
+    workers: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run the same configuration under several seeds (the paper averages 5).
+
+    Thin wrapper over the experiment orchestrator: seeds become independent
+    jobs, so passing ``workers > 1`` (or running inside an
+    ``orchestration(workers=...)`` context) executes them in parallel with
+    bit-identical results.
+    """
+    from .experiments.orchestrator import run_seed_jobs
+
+    return run_seed_jobs(config, seeds, workers=workers)
 
 
 def average_results(results: List[SimulationResult]) -> SimulationResult:

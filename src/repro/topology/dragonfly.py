@@ -68,6 +68,10 @@ class Dragonfly(Topology):
             )
         self._local_ports = self.a - 1
         self._radix = self._local_ports + self.h
+        # Minimal-route memoization: both functions are pure in (src, dst) and
+        # sit on the routing hot path (every plan computation consults them).
+        self._min_port_cache: dict[tuple[int, int], Optional[int]] = {}
+        self._min_seq_cache: dict[tuple[int, int], tuple] = {}
 
     # -- size ------------------------------------------------------------------
     @property
@@ -253,6 +257,14 @@ class Dragonfly(Topology):
         return peer
 
     def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
+        try:
+            return self._min_port_cache[(src_router, dst_router)]
+        except KeyError:
+            result = self._compute_min_next_port(src_router, dst_router)
+            self._min_port_cache[(src_router, dst_router)] = result
+            return result
+
+    def _compute_min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
         self._check_router(src_router)
         self._check_router(dst_router)
         if src_router == dst_router:
@@ -266,6 +278,14 @@ class Dragonfly(Topology):
         return self.local_port_to(src_router, self.position_in_group(gw))
 
     def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
+        try:
+            return self._min_seq_cache[(src_router, dst_router)]
+        except KeyError:
+            result = self._compute_min_hop_sequence(src_router, dst_router)
+            self._min_seq_cache[(src_router, dst_router)] = result
+            return result
+
+    def _compute_min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
         self._check_router(src_router)
         self._check_router(dst_router)
         if src_router == dst_router:

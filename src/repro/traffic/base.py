@@ -39,6 +39,11 @@ class TrafficGenerator(ABC):
         #: per-node injection probability per cycle so that the average offered
         #: load equals ``load`` phits/node/cycle.
         self.injection_probability = load / packet_size
+        #: generators that keep the default Bernoulli process let generate()
+        #: inline the draw (same RNG stream, one call per node less).
+        self._plain_bernoulli = (
+            type(self).should_generate is TrafficGenerator.should_generate
+        )
 
     @abstractmethod
     def destination_for(self, node: int, cycle: int) -> Optional[int]:
@@ -48,10 +53,32 @@ class TrafficGenerator(ABC):
         """Bernoulli injection process (overridden by the bursty generator)."""
         return self.rng.random() < self.injection_probability
 
+    def quiescent(self) -> bool:
+        """True when this source can never emit a packet.
+
+        The event-driven engine fast-forwards across idle gaps only while
+        every traffic source is quiescent, so this must be conservative:
+        returning False merely costs cycles, returning True wrongly would
+        drop traffic.
+        """
+        return self.injection_probability <= 0.0
+
     def generate(self, cycle: int) -> Iterator[Packet]:
         """Packets generated network-wide during ``cycle``."""
+        probability = self.injection_probability
+        if probability <= 0.0:
+            return
+        if self._plain_bernoulli:
+            random_draw = self.rng.random
+            should = None
+        else:
+            random_draw = None
+            should = self.should_generate
         for node in range(self.num_nodes):
-            if not self.should_generate(node, cycle):
+            if random_draw is not None:
+                if random_draw() >= probability:
+                    continue
+            elif not should(node, cycle):
                 continue
             destination = self.destination_for(node, cycle)
             if destination is None or destination == node:

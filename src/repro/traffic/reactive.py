@@ -46,6 +46,14 @@ class TrafficManager:
         for packet in self.generator.generate(cycle):
             self._enqueue(packet, cycle)
 
+    def quiescent(self) -> bool:
+        """True when no packet can be generated (lets the engine skip cycles).
+
+        Replies are spawned from delivery events, which the engine never
+        skips over, so only the request generator matters here.
+        """
+        return self.generator.quiescent()
+
     def _enqueue(self, packet: Packet, cycle: int) -> None:
         router_index = packet.src_node // self.nodes_per_router
         self.metrics.record_generation(packet, cycle)

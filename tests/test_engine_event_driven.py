@@ -1,0 +1,184 @@
+"""Event-driven engine tests: activity tracking, wakes, fast-forward, determinism."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.arrangement import VcArrangement
+from repro.engine import Engine
+from repro.simulation import Simulation
+
+
+def make_config(**overrides) -> SimulationConfig:
+    base = SimulationConfig(warmup_cycles=150, measure_cycles=400)
+    return dataclasses.replace(base, **overrides)
+
+
+class _Stepper:
+    """Minimal engine client used to probe the activity protocol."""
+
+    def __init__(self):
+        self.busy = False
+        self.steps = []
+        self.engine_index = -1
+        self.engine_activate = None
+
+    def has_work(self):
+        return self.busy
+
+    def step(self, now):
+        self.steps.append(now)
+
+
+class TestActivityTracking:
+    def test_idle_router_is_dropped_from_the_active_set(self):
+        engine = Engine()
+        stepper = _Stepper()
+        engine.register_router(stepper)
+        assert engine.active_count() == 1
+        engine.run(3)
+        assert engine.active_count() == 0
+        assert stepper.steps == []
+
+    def test_activate_restores_stepping(self):
+        engine = Engine()
+        stepper = _Stepper()
+        engine.register_router(stepper)
+        engine.run(2)  # deactivates
+        stepper.busy = True
+        engine.activate(stepper)
+        engine.run(1)
+        assert stepper.steps == [2]
+
+    def test_schedule_wake_reactivates_at_cycle(self):
+        engine = Engine()
+        stepper = _Stepper()
+        engine.register_router(stepper)
+        engine.run(1)  # deactivate
+        stepper.busy = True
+        engine.schedule_wake(5, stepper.engine_index)
+        engine.run_until(8)
+        assert stepper.steps == [5, 6, 7]
+
+
+class TestFastForward:
+    def test_skips_to_scheduled_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, fired.append)
+        engine.schedule(5000, fired.append)
+        engine.run_until(10_000)
+        assert fired == [100, 5000]
+        assert engine.now == 10_000
+        # Only 3 cycles actually ticked (the two event cycles + none after).
+        assert engine.idle_cycles_skipped >= 10_000 - 3
+
+    def test_callback_disables_skipping(self):
+        engine = Engine()
+        seen = []
+        engine.run_until(50, callback=seen.append)
+        assert len(seen) == 50
+        assert engine.idle_cycles_skipped == 0
+
+    def test_busy_stepper_prevents_skipping(self):
+        engine = Engine()
+        stepper = _Stepper()
+        stepper.busy = True
+        engine.register_router(stepper)
+        engine.run_until(20)
+        assert len(stepper.steps) == 20
+        assert engine.idle_cycles_skipped == 0
+
+    def test_non_quiescent_generator_prevents_skipping(self):
+        class Source:
+            def __init__(self):
+                self.ticks = 0
+
+            def tick(self, cycle):
+                self.ticks += 1
+
+            def quiescent(self):
+                return False
+
+        engine = Engine()
+        source = Source()
+        engine.register_traffic(source)
+        engine.run_until(30)
+        assert source.ticks == 30
+
+    def test_zero_load_simulation_fast_forwards(self):
+        sim = Simulation(make_config().with_load(0.0))
+        result = sim.run()
+        assert result.packets_generated == 0
+        assert sim.engine.idle_cycles_skipped > 500
+
+
+class TestDeterminism:
+    """Same seed => bit-identical results, run after run."""
+
+    CONFIGS = {
+        "uniform": dict(),
+        "flexvc": dict(
+            routing=dataclasses.replace(
+                SimulationConfig().routing, vc_policy="flexvc"
+            ),
+            arrangement=VcArrangement.single_class(4, 2),
+        ),
+        "reactive": dict(
+            traffic=dataclasses.replace(
+                SimulationConfig().traffic, reactive=True, load=0.4
+            ),
+            arrangement=VcArrangement.request_reply((2, 1), (2, 1)),
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_repeated_runs_are_bit_identical(self, name):
+        config = make_config(**self.CONFIGS[name]).with_load(0.4)
+        first = Simulation(config).run()
+        second = Simulation(config).run()
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+    def test_different_seeds_differ(self):
+        config = make_config().with_load(0.4)
+        a = Simulation(config).run()
+        b = Simulation(config.with_seed(99)).run()
+        assert dataclasses.asdict(a) != dataclasses.asdict(b)
+
+    def test_sleeping_routers_do_not_change_results(self):
+        """Forcing every router to poll every cycle must not change results."""
+        config = make_config().with_load(0.3)
+        reference = Simulation(config).run()
+
+        polled = Simulation(config)
+        always_on = list(range(len(polled.routers)))
+        original_tick = polled.engine.tick
+
+        def tick_all():
+            polled.engine._active.update(always_on)
+            original_tick()
+
+        polled.engine.tick = tick_all
+        result = polled.run()
+        assert dataclasses.asdict(result) == dataclasses.asdict(reference)
+
+
+class TestResidentLedger:
+    def test_ledger_matches_router_sum(self):
+        sim = Simulation(make_config().with_load(0.3))
+        checks = []
+        original_tick = sim.engine.tick
+
+        def tick():
+            original_tick()
+            checks.append(
+                sim.total_resident_packets()
+                == sum(r.resident_packets for r in sim.routers)
+            )
+
+        sim.engine.tick = tick
+        sim.run()
+        assert checks and all(checks)
