@@ -18,7 +18,11 @@ Three measurements establish the perf trajectory of the execution core:
 
 ``seed_baseline`` records the same measurements taken on the polled seed
 engine (commit 067f1ce) on the same machine, interleaved with the current
-code; ``speedup_*`` are current/seed ratios.
+code; ``speedup_*`` are current/seed ratios.  ``pr1_baseline`` records the
+PR 1 engine (dict-memoized minimal routes, commit 67d610b) re-measured on
+the current machine immediately before the precomputed-route-table change,
+so ``speedup_*_vs_pr1`` isolates what the dense tables buy (they must stay
+>= ~1.0: the tables may not regress the hot path).
 """
 
 from __future__ import annotations
@@ -46,6 +50,16 @@ SEED_BASELINE = {
     "uniform_load02_cps": 2945,
     "tiny_run_cps": 3111,
     "idle_fast_forward_cps": 20582,
+}
+
+#: cycles/sec of the PR 1 engine (per-instance dict route memos) measured
+#: interleaved with the route-table code on the same machine (best of 5
+#: alternating rounds; the shared container is noisy, so only interleaved
+#: A/B numbers are comparable — see the verify skill's gotchas).
+PR1_BASELINE = {
+    "uniform_load02_cps": 5118,
+    "tiny_run_cps": 4346,
+    "idle_fast_forward_cps": 235865748,
 }
 
 
@@ -90,6 +104,13 @@ def run_benchmark() -> dict:
         "speedup_idle_fast_forward": round(
             idle_cps / SEED_BASELINE["idle_fast_forward_cps"], 1
         ),
+        "pr1_baseline": PR1_BASELINE,
+        "speedup_uniform_load02_vs_pr1": round(
+            steady_cps / PR1_BASELINE["uniform_load02_cps"], 2
+        ),
+        "speedup_tiny_run_vs_pr1": round(
+            tiny_cps / PR1_BASELINE["tiny_run_cps"], 2
+        ),
         "tiny_result_fingerprint": fingerprint,
     }
     return report
@@ -100,7 +121,8 @@ def main() -> None:
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     for key in ("uniform_load02_cps", "tiny_run_cps", "idle_fast_forward_cps",
                 "speedup_uniform_load02", "speedup_tiny_run",
-                "speedup_idle_fast_forward"):
+                "speedup_idle_fast_forward",
+                "speedup_uniform_load02_vs_pr1", "speedup_tiny_run_vs_pr1"):
         print(f"{key}: {report[key]}")
     print(f"wrote {OUTPUT}")
 

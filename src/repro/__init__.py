@@ -55,6 +55,7 @@ from .core import (
 )
 from .metrics import MetricsCollector, SimulationResult
 from .packet import Packet, RouteKind
+from .routing import RouteTable
 from .simulation import (
     Simulation,
     average_results,
@@ -62,7 +63,14 @@ from .simulation import (
     run_seeds,
     run_simulation,
 )
-from .topology import Dragonfly, FlattenedButterfly2D
+from .topology import (
+    TOPOLOGIES,
+    Dragonfly,
+    FlattenedButterfly2D,
+    HyperX,
+    Megafly,
+    register_topology,
+)
 
 __version__ = "1.0.0"
 
@@ -105,4 +113,9 @@ __all__ = [
     # topologies
     "Dragonfly",
     "FlattenedButterfly2D",
+    "HyperX",
+    "Megafly",
+    "TOPOLOGIES",
+    "register_topology",
+    "RouteTable",
 ]

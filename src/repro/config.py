@@ -11,12 +11,13 @@ of the paper's setup remains reachable through these dataclasses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from typing import Any, Mapping, Optional, Tuple, Union
 
 from .core.arrangement import VcArrangement
+from .topology import TOPOLOGIES
+from .topology.base import Topology
 
-VALID_TOPOLOGIES = ("dragonfly", "flattened_butterfly")
 VALID_BUFFER_ORGANIZATIONS = ("static", "damq")
 VALID_VC_POLICIES = ("baseline", "flexvc")
 VALID_ROUTINGS = ("min", "val", "par", "pb")
@@ -24,34 +25,135 @@ VALID_VC_SELECTIONS = ("jsq", "highest", "lowest", "random")
 VALID_TRAFFIC_PATTERNS = ("uniform", "adversarial", "bursty")
 VALID_PB_SENSING = ("port", "vc")
 
+#: flat pre-registry NetworkConfig field names, accepted for backward
+#: compatibility and translated through each topology's ``legacy_fields``.
+_LEGACY_NETWORK_FIELDS = ("h", "p", "a", "num_groups", "k1", "k2", "fb_nodes_per_router")
 
-@dataclass(frozen=True)
+#: default suspected-deadlock window (single source of truth; re-exported by
+#: :mod:`repro.simulation` as ``DEADLOCK_WINDOW_CYCLES``).
+DEFAULT_DEADLOCK_WINDOW_CYCLES = 2500
+
+
+def _freeze_param_value(value: Any) -> Any:
+    """Make a parameter value hashable (lists arrive from JSON/callers)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_param_value(item) for item in value)
+    return value
+
+ParamsInput = Union[None, Mapping[str, Any], Tuple[Tuple[str, Any], ...]]
+
+
+@dataclass(frozen=True, init=False)
 class NetworkConfig:
-    """Topology and link parameters."""
+    """Topology and link parameters.
+
+    The topology is named by its registry entry
+    (:data:`repro.topology.TOPOLOGIES`); its parameters travel as a sorted
+    tuple of ``(name, value)`` pairs so configurations stay hashable and
+    content-hashable.  Construction accepts a mapping::
+
+        NetworkConfig(topology="hyperx", params={"s": (4, 3, 3)})
+
+    and, for backward compatibility, the flat legacy keywords of the
+    pre-registry configuration (``h``/``p``/``a``/``num_groups`` for the
+    Dragonfly, ``k1``/``k2``/``fb_nodes_per_router`` for the Flattened
+    Butterfly); legacy keywords that do not apply to the named topology are
+    ignored, exactly as the old flat dataclass ignored them.
+    """
 
     topology: str = "dragonfly"
-    #: Dragonfly global links per router (balanced: p=h, a=2h, g=a*h+1).
-    h: int = 2
-    p: Optional[int] = None
-    a: Optional[int] = None
-    num_groups: Optional[int] = None
-    #: Flattened Butterfly dimensions (used when topology="flattened_butterfly").
-    k1: int = 4
-    k2: int = 4
-    fb_nodes_per_router: int = 2
+    #: topology parameters as sorted (name, value) pairs; defaults come from
+    #: the registered parameter dataclass.
+    params: Tuple[Tuple[str, Any], ...] = ()
     #: Link latencies in cycles (Table V: 10 local / 100 global).
     local_latency: int = 10
     global_latency: int = 100
 
+    def __init__(
+        self,
+        topology: str = "dragonfly",
+        params: ParamsInput = None,
+        local_latency: int = 10,
+        global_latency: int = 100,
+        **legacy: Any,
+    ) -> None:
+        object.__setattr__(self, "topology", topology)
+        object.__setattr__(self, "local_latency", local_latency)
+        object.__setattr__(self, "global_latency", global_latency)
+        merged = dict(params or {})
+        unknown = [name for name in legacy if name not in _LEGACY_NETWORK_FIELDS]
+        if unknown:
+            raise TypeError(
+                f"unexpected NetworkConfig argument(s) {unknown}; topology "
+                "parameters go into params={...}"
+            )
+        provided = {name: value for name, value in legacy.items() if value is not None}
+        if provided:
+            if topology not in TOPOLOGIES:
+                raise TypeError(
+                    f"cannot translate legacy parameter(s) {sorted(provided)} "
+                    f"for unknown topology {topology!r}"
+                )
+            spec = TOPOLOGIES.get(topology)
+            param_names = {f.name for f in dataclass_fields(spec.params_cls)}
+            for name, value in provided.items():
+                target = spec.legacy_fields.get(name)
+                if target is not None:
+                    merged[target] = value
+                elif name in param_names:
+                    # Same-named parameter of a post-registry topology
+                    # (e.g. Megafly's h/num_groups): pass straight through.
+                    merged[name] = value
+                elif not spec.legacy_fields:
+                    # Post-registry topologies never existed under the flat
+                    # scheme, so an untranslatable keyword is a user error,
+                    # not backward compatibility.
+                    raise TypeError(
+                        f"topology {topology!r} does not take legacy "
+                        f"parameter {name!r}; use params={{...}}"
+                    )
+                # else: pre-registry topology (dragonfly / flattened
+                # butterfly) — the old flat dataclass carried every
+                # topology's fields at once, so foreign ones stay ignored.
+        merged = {name: _freeze_param_value(value) for name, value in merged.items()}
+        # Normalize against the parameter dataclass so structurally equal
+        # configurations compare (and content-hash) equal regardless of which
+        # defaults were spelled out; invalid parameters keep the raw form and
+        # surface through validate().
+        if topology in TOPOLOGIES:
+            spec = TOPOLOGIES.get(topology)
+            try:
+                instance = spec.params_cls(**merged)
+            except TypeError:
+                pass
+            else:
+                merged = {
+                    f.name: _freeze_param_value(getattr(instance, f.name))
+                    for f in dataclass_fields(spec.params_cls)
+                }
+        object.__setattr__(self, "params", tuple(sorted(merged.items())))
+
+    # -- resolution -------------------------------------------------------------
+    def make_params(self) -> Any:
+        """Validated parameter-dataclass instance for the named topology."""
+        return TOPOLOGIES.get(self.topology).make_params(dict(self.params))
+
+    def build(self) -> Topology:
+        """Instantiate the described topology through the registry."""
+        return TOPOLOGIES.get(self.topology).build(dict(self.params))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Read one topology parameter (post-translation name)."""
+        return dict(self.params).get(name, default)
+
     def validate(self) -> None:
-        if self.topology not in VALID_TOPOLOGIES:
-            raise ValueError(f"topology must be one of {VALID_TOPOLOGIES}, got {self.topology!r}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES.names()}, got {self.topology!r}"
+            )
         if self.local_latency < 1 or self.global_latency < 1:
             raise ValueError("link latencies must be >= 1 cycle")
-        if self.topology == "dragonfly" and self.h < 1:
-            raise ValueError("Dragonfly h must be >= 1")
-        if self.topology == "flattened_butterfly" and (self.k1 < 2 or self.k2 < 1):
-            raise ValueError("Flattened Butterfly needs k1 >= 2 and k2 >= 1")
+        self.make_params()  # raises ValueError on invalid parameters
 
 
 @dataclass(frozen=True)
@@ -189,6 +291,9 @@ class SimulationConfig:
     warmup_cycles: int = 1500
     measure_cycles: int = 3000
     seed: int = 1
+    #: A run is flagged as suspected-deadlocked when no packet is delivered
+    #: for this many cycles while traffic is resident in the network.
+    deadlock_window_cycles: int = DEFAULT_DEADLOCK_WINDOW_CYCLES
 
     def validate(self) -> None:
         self.network.validate()
@@ -197,6 +302,8 @@ class SimulationConfig:
         self.traffic.validate()
         if self.warmup_cycles < 0 or self.measure_cycles < 1:
             raise ValueError("warmup_cycles must be >= 0 and measure_cycles >= 1")
+        if self.deadlock_window_cycles < 1:
+            raise ValueError("deadlock_window_cycles must be >= 1")
         if self.traffic.reactive and not self.arrangement.is_reactive:
             raise ValueError(
                 "reactive traffic requires an arrangement with reply VCs "
@@ -205,23 +312,48 @@ class SimulationConfig:
         self._validate_arrangement_supports_routing()
 
     def _validate_arrangement_supports_routing(self) -> None:
-        """Reject configurations whose routing cannot be deadlock-free."""
-        from .core.feasibility import PathSupport, classify
+        """Reject configurations whose routing cannot be deadlock-free.
 
-        dragonfly = self.network.topology == "dragonfly"
+        The check is driven entirely by the topology's declared worst-case
+        minimal path and escape shape — no topology is special-cased by name.
+        """
+        from .core.feasibility import PathSupport, classify_minimal
+        from .core.link_types import reference_vc_requirements_for
+
+        topology = self.network.build()
+        minimal = topology.canonical_minimal_sequence
         algorithm = self.routing.algorithm
         routing_for_check = {"min": "MIN", "val": "VAL", "par": "PAR", "pb": "VAL"}[algorithm]
         if self.routing.vc_policy == "flexvc":
-            support = classify(self.arrangement, routing_for_check, dragonfly)
+            support = classify_minimal(
+                self.arrangement, routing_for_check, minimal,
+                worst_escape=topology.worst_escape_sequence,
+            )
             if support == PathSupport.UNSUPPORTED:
                 raise ValueError(
                     f"arrangement {self.arrangement.label()} cannot support "
                     f"{routing_for_check} routing even opportunistically"
                 )
         else:
-            from .core.link_types import reference_vc_requirements
-
-            needed_local, needed_global = reference_vc_requirements(routing_for_check, dragonfly)
+            if topology.has_link_type_restrictions:
+                needed_local, needed_global = reference_vc_requirements_for(
+                    minimal, routing_for_check
+                )
+            else:
+                # Untyped networks: the distance-based policy assigns local
+                # slots by position within a phase and advances phase offsets
+                # by max(2, diameter) (see RoutingAlgorithm.phase_ref), so the
+                # requirement follows that arithmetic — e.g. a complete graph
+                # (diameter 1) needs 1/3/4 local VCs for MIN/VAL/PAR, a
+                # diameter-2 network the paper's 2/4/5.
+                diameter = max(1, topology.diameter)
+                phase = max(2, diameter)
+                needed_global = 0
+                needed_local = {
+                    "MIN": diameter,
+                    "VAL": phase + diameter,
+                    "PAR": 1 + phase + diameter,
+                }[routing_for_check]
             if (self.arrangement.request_local < needed_local
                     or self.arrangement.request_global < needed_global):
                 raise ValueError(

@@ -44,14 +44,28 @@ class DistanceBasedPolicy(VcPolicy):
 
     # -- slot computation -----------------------------------------------------
     def slot_for(self, ctx: HopContext) -> int:
-        """Reference slot (within the packet's virtual network) for this hop."""
+        """Reference slot (within the packet's virtual network) for this hop.
+
+        Slots align hops onto the phase's canonical reference segment: global
+        hops occupy the phase's global slots in traversal order; local hops
+        use the pre-global local slots while no global hop has been taken and
+        the post-global slots (which start after the single pre-global local
+        slot of every supported reference shape) afterwards.  For the
+        Dragonfly/Flattened-Butterfly shapes (at most one global hop, at most
+        one local hop on each side of it) this reduces exactly to the
+        l0/g1/l2 assignment of Section II.
+        """
         local_offset, global_offset = ctx.phase_offsets
+        globals_taken = int(ctx.phase_global_taken)
         if ctx.out_type == LinkType.GLOBAL:
-            return global_offset
+            return global_offset + globals_taken
         # Local (or untyped) hop.
-        if any(h == LinkType.GLOBAL for h in ctx.intended_remaining) or ctx.phase_global_taken:
-            # Typed network: discriminate the before-/after-global local slot.
-            return local_offset + (1 if ctx.phase_global_taken else 0)
+        if any(h == LinkType.GLOBAL for h in ctx.intended_remaining) or globals_taken:
+            # Typed network: discriminate the before-/after-global local slots.
+            locals_taken = ctx.phase_position - globals_taken
+            if globals_taken:
+                return local_offset + max(locals_taken, 1)
+            return local_offset + locals_taken
         # Untyped network (no global hops anywhere): position within the phase.
         return local_offset + ctx.phase_position
 

@@ -20,13 +20,14 @@ from typing import Dict, Iterable, Optional, Sequence
 from .arrangement import VcArrangement
 from .flexvc import FlexVcPolicy
 from .link_types import (
-    G,
+    DIAMETER2_MIN,
+    DRAGONFLY_MIN,
     HopSequence,
-    L,
     LinkType,
     MessageClass,
     count_hops,
     reference_path,
+    reference_path_for,
 )
 from .vc_policy import HopContext
 
@@ -42,27 +43,41 @@ class PathSupport(Enum):
         return self.value
 
 
-#: Worst-case escape path (minimal continuation from the *next* router) after
-#: each hop of the canonical reference paths.
-_ESCAPES: Dict[tuple[bool, str], tuple[HopSequence, ...]] = {
-    # Dragonfly (typed local/global links)
-    (True, "MIN"): ((G, L), (L,), ()),
-    (True, "VAL"): ((L, G, L), (L, G, L), (L, G, L), (G, L), (L,), ()),
-    (True, "PAR"): ((G, L), (L, G, L), (L, G, L), (L, G, L), (G, L), (L,), ()),
-    # Generic diameter-2 network (single link class)
-    (False, "MIN"): ((L,), ()),
-    (False, "VAL"): ((L, L), (L, L), (L,), ()),
-    (False, "PAR"): ((L,), (L, L), (L, L), (L,), ()),
-}
+def _suffixes(minimal: HopSequence) -> tuple[HopSequence, ...]:
+    """Minimal continuations after each hop of ``minimal`` (ending empty)."""
+    return tuple(minimal[i + 1:] for i in range(len(minimal)))
+
+
+def escape_sequences_for(
+    minimal: HopSequence,
+    routing: str,
+    worst_escape: Optional[HopSequence] = None,
+) -> tuple[HopSequence, ...]:
+    """Per-hop worst-case escape paths for a reference path.
+
+    ``minimal`` is the network's worst-case minimal path; ``worst_escape`` is
+    the worst-case minimal continuation from an *arbitrary* router (it equals
+    ``minimal`` unless mid-path routers can be farther from every destination
+    than any source is, as in the Megafly whose spine routers may need an
+    extra local hop).  While a packet still heads for its Valiant
+    intermediate the escape is that worst case; once on a minimal segment the
+    escape is the actual remaining suffix.
+    """
+    if worst_escape is None:
+        worst_escape = minimal
+    key = routing.upper()
+    if key == "MIN":
+        return _suffixes(minimal)
+    if key == "VAL":
+        return (worst_escape,) * len(minimal) + _suffixes(minimal)
+    if key == "PAR":
+        return (minimal[1:],) + (worst_escape,) * len(minimal) + _suffixes(minimal)
+    raise ValueError(f"unknown routing {routing!r}")
 
 
 def escape_sequences(routing: str, dragonfly: bool) -> tuple[HopSequence, ...]:
-    """Per-hop worst-case escape paths for a reference path."""
-    key = (dragonfly, routing.upper())
-    try:
-        return _ESCAPES[key]
-    except KeyError as exc:
-        raise ValueError(f"unknown routing {routing!r}") from exc
+    """Per-hop worst-case escape paths for a canonical reference path."""
+    return escape_sequences_for(DRAGONFLY_MIN if dragonfly else DIAMETER2_MIN, routing)
 
 
 @dataclass(frozen=True)
@@ -76,15 +91,16 @@ class WalkResult:
     failed_hop: int = -1
 
 
-def walk_reference_path(
+def walk_reference_path_for(
     policy: FlexVcPolicy,
     routing: str,
-    dragonfly: bool,
+    minimal: HopSequence,
     msg_class: MessageClass = MessageClass.REQUEST,
+    worst_escape: Optional[HopSequence] = None,
 ) -> WalkResult:
-    """Walk a reference path under FlexVC, greedily taking the lowest VC."""
-    ref = reference_path(routing, dragonfly)
-    escapes = escape_sequences(routing, dragonfly)
+    """Walk the reference path of a network with minimal path ``minimal``."""
+    ref = reference_path_for(minimal, routing)
+    escapes = escape_sequences_for(minimal, routing, worst_escape)
     assert len(ref) == len(escapes)
     input_type: Optional[LinkType] = None
     input_vc = -1
@@ -108,10 +124,21 @@ def walk_reference_path(
     return WalkResult(True, tuple(chosen))
 
 
+def walk_reference_path(
+    policy: FlexVcPolicy,
+    routing: str,
+    dragonfly: bool,
+    msg_class: MessageClass = MessageClass.REQUEST,
+) -> WalkResult:
+    """Walk a canonical reference path under FlexVC (paper Tables I-IV)."""
+    minimal = DRAGONFLY_MIN if dragonfly else DIAMETER2_MIN
+    return walk_reference_path_for(policy, routing, minimal, msg_class)
+
+
 def _fits_own_subsequence(
     arrangement: VcArrangement,
     routing: str,
-    dragonfly: bool,
+    minimal: HopSequence,
     msg_class: MessageClass,
 ) -> bool:
     """Does the reference path fit the class's *own* VC sub-sequence?
@@ -120,7 +147,7 @@ def _fits_own_subsequence(
     VCs, replies within the reply VCs.  Replies that need to borrow request
     VCs are "opportunistic" even though they are trivially deadlock-free.
     """
-    ref = reference_path(routing, dragonfly)
+    ref = reference_path_for(minimal, routing)
     for link_type in (LinkType.LOCAL, LinkType.GLOBAL):
         needed = count_hops(ref, link_type)
         if msg_class == MessageClass.REPLY and arrangement.is_reactive:
@@ -132,6 +159,23 @@ def _fits_own_subsequence(
     return True
 
 
+def classify_minimal(
+    arrangement: VcArrangement,
+    routing: str,
+    minimal: HopSequence,
+    msg_class: MessageClass = MessageClass.REQUEST,
+    worst_escape: Optional[HopSequence] = None,
+) -> PathSupport:
+    """Classify a protocol on a network with minimal path ``minimal``."""
+    policy = FlexVcPolicy(arrangement)
+    result = walk_reference_path_for(policy, routing, minimal, msg_class, worst_escape)
+    if not result.feasible:
+        return PathSupport.UNSUPPORTED
+    if _fits_own_subsequence(arrangement, routing, minimal, msg_class):
+        return PathSupport.SAFE
+    return PathSupport.OPPORTUNISTIC
+
+
 def classify(
     arrangement: VcArrangement,
     routing: str,
@@ -139,13 +183,8 @@ def classify(
     msg_class: MessageClass = MessageClass.REQUEST,
 ) -> PathSupport:
     """Classify one routing protocol / message class under FlexVC."""
-    policy = FlexVcPolicy(arrangement)
-    result = walk_reference_path(policy, routing, dragonfly, msg_class)
-    if not result.feasible:
-        return PathSupport.UNSUPPORTED
-    if _fits_own_subsequence(arrangement, routing, dragonfly, msg_class):
-        return PathSupport.SAFE
-    return PathSupport.OPPORTUNISTIC
+    minimal = DRAGONFLY_MIN if dragonfly else DIAMETER2_MIN
+    return classify_minimal(arrangement, routing, minimal, msg_class)
 
 
 _ORDER = {

@@ -97,6 +97,28 @@ DIAMETER2_VAL: HopSequence = (L, L, L, L)
 DIAMETER2_PAR: HopSequence = (L, L, L, L, L)
 
 
+def reference_path_for(minimal: HopSequence, routing: str) -> HopSequence:
+    """Reference path of ``routing`` on a network whose worst-case minimal
+    path is ``minimal``.
+
+    ``MIN`` is the minimal path itself; ``VAL`` concatenates two minimal
+    segments (source to intermediate, intermediate to destination); ``PAR``
+    prepends one additional hop of the first link type (the pre-diversion
+    minimal hop).  Instantiated with the Dragonfly's l-g-l and the generic
+    diameter-2 network's l-l these reproduce the paper's Section II paths.
+    """
+    if not minimal:
+        raise ValueError("minimal reference sequence must not be empty")
+    key = routing.upper()
+    if key == "MIN":
+        return minimal
+    if key == "VAL":
+        return minimal + minimal
+    if key == "PAR":
+        return (minimal[0],) + minimal + minimal
+    raise ValueError(f"unknown routing {routing!r}; expected MIN, VAL or PAR")
+
+
 def reference_path(routing: str, dragonfly: bool) -> HopSequence:
     """Return the canonical reference path for ``routing``.
 
@@ -108,15 +130,13 @@ def reference_path(routing: str, dragonfly: bool) -> HopSequence:
         ``True`` for the Dragonfly (typed local/global links), ``False`` for a
         generic diameter-2 network with a single link class.
     """
-    key = routing.upper()
-    if dragonfly:
-        table = {"MIN": DRAGONFLY_MIN, "VAL": DRAGONFLY_VAL, "PAR": DRAGONFLY_PAR}
-    else:
-        table = {"MIN": DIAMETER2_MIN, "VAL": DIAMETER2_VAL, "PAR": DIAMETER2_PAR}
-    try:
-        return table[key]
-    except KeyError as exc:  # pragma: no cover - defensive
-        raise ValueError(f"unknown routing {routing!r}; expected MIN, VAL or PAR") from exc
+    return reference_path_for(DRAGONFLY_MIN if dragonfly else DIAMETER2_MIN, routing)
+
+
+def reference_vc_requirements_for(minimal: HopSequence, routing: str) -> tuple[int, int]:
+    """VCs (local, global) distance-based deadlock avoidance needs for
+    ``routing`` on a network with worst-case minimal path ``minimal``."""
+    return hop_counts(reference_path_for(minimal, routing))
 
 
 def reference_vc_requirements(routing: str, dragonfly: bool) -> tuple[int, int]:

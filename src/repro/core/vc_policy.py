@@ -82,8 +82,10 @@ class HopContext:
     phase_position:
         Hops already taken within the current phase.
     phase_global_taken:
-        True when the current phase's global hop has already been traversed
-        (used to discriminate the l0/l2-style local slots of a phase).
+        Number of global hops already traversed within the current phase
+        (truthy after the first; used to discriminate the l0/l2-style local
+        slots of a phase, and to order the successive global slots of
+        topologies whose minimal paths take several global hops).
     """
 
     msg_class: MessageClass
@@ -94,7 +96,7 @@ class HopContext:
     input_vc: int = -1
     phase_offsets: tuple[int, int] = (0, 0)
     phase_position: int = 0
-    phase_global_taken: bool = False
+    phase_global_taken: int = 0
 
     def __post_init__(self) -> None:
         if not self.intended_remaining:

@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Sequence
 
-from . import figures, tables
+from . import figures, tables, topologies
 from .formatting import render_bar_table, render_series_table
 from .orchestrator import ResultStore, orchestration
 from .runner import SCALES
@@ -44,6 +44,8 @@ class FigureEntry:
     render: Callable[[str, object], str]
     #: accepts the standard scale/patterns/seeds keyword arguments.
     takes_scale: bool = True
+    #: scale used when ``--scale`` is not given.
+    default_scale: str = "tiny"
 
 
 def _render_pattern_series(name: str, results) -> str:
@@ -104,6 +106,14 @@ REGISTRY: Dict[str, FigureEntry] = {
             figures.figure11, _render_pattern_bars,
         ),
         FigureEntry(
+            "hyperx", "FlexVC vs baseline on HyperX(3D): all routings x policies",
+            topologies.hyperx_sweep, _render_pattern_series,
+        ),
+        FigureEntry(
+            "megafly", "FlexVC vs baseline on Megafly/Dragonfly+: all routings x policies",
+            topologies.megafly_sweep, _render_pattern_series,
+        ),
+        FigureEntry(
             "tables", "VC feasibility tables I-IV (analytic, no simulation)",
             lambda **_: tables.all_tables(), _render_tables, takes_scale=False,
         ),
@@ -119,8 +129,12 @@ def cmd_list(_args: argparse.Namespace) -> int:
     width = max(len(name) for name in REGISTRY)
     print("available experiments:")
     for name, entry in REGISTRY.items():
-        print(f"  {name:<{width}s}  {entry.description}")
+        scale = f"[default scale: {entry.default_scale}]" if entry.takes_scale \
+            else "[no scale: analytic]"
+        print(f"  {name:<{width}s}  {entry.description}  {scale}")
     print(f"\nscales: {', '.join(SCALES)}")
+    print("run with: python -m repro.experiments run <figure> "
+          "[--scale S] [--workers N] [--patterns P ...]")
     return 0
 
 
@@ -135,9 +149,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     with orchestration(workers=args.workers, store=store):
         for name in args.figures:
             entry = REGISTRY[name]
+            scale = args.scale if args.scale is not None else entry.default_scale
             kwargs: dict = {}
             if entry.takes_scale:
-                kwargs["scale"] = args.scale
+                kwargs["scale"] = scale
                 if args.seeds is not None:
                     kwargs["seeds"] = args.seeds
                 if args.patterns and "patterns" in entry.run.__code__.co_varnames:
@@ -146,7 +161,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             start = time.perf_counter()
             results = entry.run(**kwargs)
             elapsed = time.perf_counter() - start
-            print(entry.render(f"{name} @ {args.scale}", results))
+            print(entry.render(f"{name} @ {scale}", results))
             executed = store.writes - writes_before
             cached = store.hits - hits_before
             print(
@@ -171,8 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one or more experiments by name")
     run.add_argument("figures", nargs="+", metavar="figure",
                      help=f"experiment name(s): {', '.join(REGISTRY)}")
-    run.add_argument("--scale", default="tiny", choices=sorted(SCALES),
-                     help="experiment scale (default: tiny)")
+    run.add_argument("--scale", default=None, choices=sorted(SCALES),
+                     help="experiment scale (default: each figure's default, "
+                          "normally tiny)")
     run.add_argument("--workers", type=int, default=1,
                      help="parallel worker processes (default: 1 = serial)")
     run.add_argument("--seeds", type=int, default=None,

@@ -49,9 +49,30 @@ class ExperimentScale:
     )
 
     def network(self) -> NetworkConfig:
+        return self.network_for("dragonfly")
+
+    def network_for(self, topology: str) -> NetworkConfig:
+        """Comparable-size network of any registered topology at this scale.
+
+        Sizes are derived from the scale's ``h`` so curves across topologies
+        stay roughly comparable (tiny: 36-router Dragonfly, 36-router 3D
+        HyperX, 16-router Flattened Butterfly, 20-router Megafly).
+        """
+        h = self.h
+        params: dict
+        if topology == "dragonfly":
+            params = {"h": h}
+        elif topology in ("flattened_butterfly", "fb"):
+            params = {"k1": 2 * h, "k2": 2 * h, "nodes_per_router": h}
+        elif topology == "hyperx":
+            params = {"s": (2 * h, h + 1, h + 1), "nodes_per_router": h}
+        elif topology in ("megafly", "dragonfly+", "dragonflyplus"):
+            params = {"spines": h, "leaves": h, "h": h, "nodes_per_router": h}
+        else:
+            raise ValueError(f"no scale mapping for topology {topology!r}")
         return NetworkConfig(
-            topology="dragonfly",
-            h=self.h,
+            topology=topology,
+            params=params,
             local_latency=self.local_latency,
             global_latency=self.global_latency,
         )
@@ -145,8 +166,13 @@ def base_config(
     local_port_phits: int | None = None,
     global_port_phits: int | None = None,
     seed: int = 1,
+    network: NetworkConfig | None = None,
 ) -> SimulationConfig:
-    """Assemble a :class:`SimulationConfig` for one experimental point."""
+    """Assemble a :class:`SimulationConfig` for one experimental point.
+
+    ``network`` overrides the scale's default (Dragonfly) substrate, e.g.
+    ``network=scale.network_for("hyperx")``.
+    """
     if arrangement is None:
         arrangement = (
             VcArrangement.request_reply((2, 1), (2, 1))
@@ -154,7 +180,7 @@ def base_config(
             else VcArrangement.single_class(2, 1)
         )
     return SimulationConfig(
-        network=scale.network(),
+        network=network if network is not None else scale.network(),
         router=RouterConfig(
             buffer_organization=buffer_organization,
             damq_private_fraction=damq_private_fraction,

@@ -1,0 +1,137 @@
+"""Cross-topology sweep series: the FlexVC claims on *any* registered network.
+
+The paper pitches FlexVC as a mechanism for any low-diameter network but only
+evaluates Dragonfly and Flattened Butterfly.  This module runs the same
+baseline-vs-FlexVC comparison, under every routing algorithm, on any topology
+registered with :data:`repro.topology.TOPOLOGIES` — the CLI exposes ``hyperx``
+and ``megafly`` directly::
+
+    python -m repro.experiments run hyperx megafly --scale tiny --workers 4
+
+Each figure is a load sweep with one series per ``routing/policy`` pair
+(MIN/VAL/PAR/PB x baseline/FlexVC).  VC arrangements are not hard-coded per
+topology: for each pair the *smallest feasible* arrangement is picked from a
+ladder by asking :meth:`SimulationConfig.validate` — i.e. by the same
+topology-declared reference-path machinery the simulator itself uses, so a
+newly registered topology gets a correct sweep for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..config import NetworkConfig, RoutingConfig, SimulationConfig, TrafficConfig
+from ..core.arrangement import VcArrangement
+from .runner import ExperimentScale, Series, base_config, get_scale, load_sweep
+
+#: (local, global) candidate ladder, ascending in total buffer cost.
+ARRANGEMENT_LADDER: tuple[tuple[int, int], ...] = (
+    (2, 1), (2, 2), (3, 2), (4, 2), (5, 2), (3, 3), (4, 3), (4, 4),
+    (5, 3), (5, 4), (6, 4), (8, 4),
+)
+
+ROUTINGS = ("min", "val", "par", "pb")
+POLICIES = ("baseline", "flexvc")
+
+
+def minimal_feasible_arrangement(
+    network: NetworkConfig,
+    algorithm: str,
+    vc_policy: str,
+    *,
+    reactive: bool = False,
+    ladder: Sequence[tuple[int, int]] = ARRANGEMENT_LADDER,
+) -> VcArrangement:
+    """Smallest arrangement of ``ladder`` that validates for the configuration."""
+    last_error: Optional[Exception] = None
+    for local, global_ in ladder:
+        arrangement = (
+            VcArrangement.request_reply((local, global_), (local, global_))
+            if reactive
+            else VcArrangement.single_class(local, global_)
+        )
+        candidate = SimulationConfig(
+            network=network,
+            routing=RoutingConfig(algorithm=algorithm, vc_policy=vc_policy),
+            arrangement=arrangement,
+            traffic=TrafficConfig(reactive=reactive),
+        )
+        try:
+            candidate.validate()
+            return arrangement
+        except ValueError as exc:
+            last_error = exc
+    raise ValueError(
+        f"no feasible arrangement in the ladder for {algorithm}/{vc_policy} "
+        f"on {network.topology}"
+    ) from last_error
+
+
+def topology_series(
+    scale: ExperimentScale,
+    topology: str,
+    pattern: str = "uniform",
+    routings: Sequence[str] = ROUTINGS,
+    policies: Sequence[str] = POLICIES,
+) -> List[Series]:
+    """One series per routing/policy pair on ``topology``."""
+    network = scale.network_for(topology)
+    series: List[Series] = []
+    for routing in routings:
+        for policy in policies:
+            arrangement = minimal_feasible_arrangement(network, routing, policy)
+            label = (
+                f"{routing.upper()} {'FlexVC' if policy == 'flexvc' else 'Baseline'} "
+                f"{arrangement.request_local}/{arrangement.request_global}VCs"
+            )
+            series.append(
+                Series(
+                    label,
+                    lambda a=arrangement, r=routing, p=policy: base_config(
+                        scale, pattern=pattern, algorithm=r, vc_policy=p,
+                        arrangement=a, network=network,
+                    ),
+                )
+            )
+    return series
+
+
+def topology_sweep(
+    topology: str,
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = ("uniform",),
+    loads: Optional[Iterable[float]] = None,
+    seeds: Optional[int] = None,
+) -> Dict[str, List[Series]]:
+    """Load sweep of every routing/policy pair on ``topology``.
+
+    Returns ``{pattern: [Series, ...]}`` like the figure generators, so the
+    CLI renders it with the standard series tables.
+    """
+    scale = get_scale(scale)
+    seeds = seeds if seeds is not None else scale.seeds
+    loads = list(loads) if loads is not None else list(scale.loads)
+    return {
+        pattern: load_sweep(topology_series(scale, topology, pattern), loads, seeds)
+        for pattern in patterns
+    }
+
+
+def hyperx_sweep(
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = ("uniform",),
+    loads: Optional[Iterable[float]] = None,
+    seeds: Optional[int] = None,
+) -> Dict[str, List[Series]]:
+    """All routings x policies on the 3D HyperX substrate."""
+    return topology_sweep("hyperx", scale, patterns, loads, seeds)
+
+
+def megafly_sweep(
+    scale: str | ExperimentScale = "tiny",
+    patterns: Sequence[str] = ("uniform",),
+    loads: Optional[Iterable[float]] = None,
+    seeds: Optional[int] = None,
+) -> Dict[str, List[Series]]:
+    """All routings x policies on the Megafly / Dragonfly+ substrate."""
+    return topology_sweep("megafly", scale, patterns, loads, seeds)

@@ -55,8 +55,9 @@ class Packet:
     phase_offsets: tuple[int, int] = (0, 0)
     #: hops taken within the current phase.
     phase_position: int = 0
-    #: True once the current phase's global hop has been traversed.
-    phase_global_taken: bool = False
+    #: number of global hops traversed within the current phase (truthy once
+    #: the first one is taken; topologies like HyperX have several per phase).
+    phase_global_taken: int = 0
 
     # -- position state --------------------------------------------------------
     #: VC index the packet currently occupies at its input port (-1 at injection).
@@ -97,7 +98,7 @@ class Packet:
         """Start a new routing phase (e.g. the second minimal segment of Valiant)."""
         self.phase_offsets = offsets
         self.phase_position = 0
-        self.phase_global_taken = False
+        self.phase_global_taken = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "MIN" if self.is_minimal else f"VAL(via {self.intermediate_router})"

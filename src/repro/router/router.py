@@ -90,10 +90,16 @@ class Router:
         self.on_injection = on_injection
         self.speedup = router_config.speedup
         self.saturation_board: Optional[SaturationBoard] = None
+        #: position of this router on its group's saturation board.
+        self.saturation_position = -1
+        #: (output_port, board_index) pairs of the global ports (lazy).
+        self._saturation_ports: Optional[List] = None
+        self._saturation_posts = False
 
-        p = topology.nodes_per_router
-        self.num_nodes = p
+        # Transit-only routers (e.g. Megafly spines) attach no nodes.
         self.nodes = list(topology.nodes_of_router(router_id))
+        p = len(self.nodes)
+        self.num_nodes = p
 
         # -- network ports ------------------------------------------------------
         self.input_ports: Dict[int, InputPort] = {}
@@ -184,8 +190,15 @@ class Router:
     # ------------------------------------------------------------------
     # External interface (wiring and traffic)
     # ------------------------------------------------------------------
-    def attach_saturation_board(self, board: SaturationBoard) -> None:
+    def attach_saturation_board(self, board: SaturationBoard, position: int = 0) -> None:
         self.saturation_board = board
+        self.saturation_position = position
+        self._saturation_ports = None
+        #: whether this router posts measurements (owns global ports) or only
+        #: reads the board at injection time (e.g. Megafly leaves).
+        self._saturation_posts = any(
+            op.link_type == LinkType.GLOBAL for op in self.output_ports.values()
+        )
         self.wake()
 
     def wake(self) -> None:
@@ -236,8 +249,15 @@ class Router:
         """
         if self.saturation_board is not None:
             # Piggyback needs fresh saturation bits even while the router is
-            # otherwise idle (outstanding downstream credits keep draining).
-            return True
+            # otherwise idle (outstanding downstream credits keep draining),
+            # and board-reading injection decisions must see every cycle's
+            # state while packets are pending.  A board reader with no global
+            # ports and no pending work steps as a pure no-op, so it may
+            # sleep; arrivals and source enqueues wake it.
+            if (self._saturation_posts or self.resident_packets
+                    or self._injection_resident or self._source_backlog):
+                return True
+            return False
         now = self.engine.now
         blocked = self._alloc_sleep_until
         if blocked >= 0:
@@ -294,7 +314,7 @@ class Router:
             blocked = self._alloc_sleep_until
             if blocked < 0 or blocked <= now:
                 self._allocate(now)
-        if self.saturation_board is not None:
+        if self.saturation_board is not None and self._saturation_posts:
             self._update_saturation()
 
     # -- injection --------------------------------------------------------------------
@@ -339,7 +359,8 @@ class Router:
         output_ports = self.output_ports
         speedup = self.speedup
         router_id = self.router_id
-        first_node = self.nodes[0]
+        # Transit-only routers never eject, so the anchor is never read.
+        first_node = self.nodes[0] if self.nodes else 0
         choose = self.selection.choose
         rng = self.rng
         reject_until = NEVER
@@ -535,20 +556,20 @@ class Router:
     # -- congestion sensing --------------------------------------------------------------------
     def _update_saturation(self) -> None:
         """Refresh this router's saturation bits on the group board (Piggyback)."""
-        from ..topology.dragonfly import Dragonfly
-
-        topo = self.topology
-        if not isinstance(topo, Dragonfly):  # pragma: no cover - PB is Dragonfly-only here
-            return
         board = self.saturation_board
         assert board is not None
-        position = topo.position_in_group(self.router_id)
-        global_ports = [
-            (port, op) for port, op in self.output_ports.items()
-            if op.link_type == LinkType.GLOBAL
-        ]
+        global_ports = self._saturation_ports
+        if global_ports is None:
+            topo = self.topology
+            global_ports = [
+                (op, topo.global_port_index(self.router_id, port))
+                for port, op in sorted(self.output_ports.items())
+                if op.link_type == LinkType.GLOBAL
+            ]
+            self._saturation_ports = global_ports
         if not global_ports:
             return
+        position = self.saturation_position
         per_vc = self.routing_config.pb_sensing == "vc"
         minimal_only = self.routing_config.pb_min_credits_only
         class_indices = (0, 1) if (per_vc and self.arrangement.is_reactive) else (0,)
@@ -558,7 +579,6 @@ class Router:
             else:
                 vc = min(self.arrangement.request_global,
                          self.arrangement.total_global - 1)
-            for port, op in global_ports:
-                gport = port - topo.num_local_ports
+            for op, gport in global_ports:
                 occupancy = op.credits.occupancy_metric(per_vc, vc, minimal_only)
                 board.post(position, gport, class_index, occupancy)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+from typing import Optional
 
 from ..config import RoutingConfig
 from ..core.arrangement import VcArrangement
@@ -13,6 +14,7 @@ from .base import CandidateHop, EjectionRequest, Plan, RoutingAlgorithm
 from .minimal import MinimalRouting
 from .par import ProgressiveAdaptiveRouting
 from .piggyback import PiggybackRouting
+from .route_table import RouteTable
 from .valiant import ValiantRouting
 
 _ALGORITHMS = {
@@ -30,13 +32,18 @@ def make_routing(
     config: RoutingConfig,
     arrangement: VcArrangement,
     rng: random.Random,
+    route_table: Optional[RouteTable] = None,
 ) -> RoutingAlgorithm:
-    """Instantiate the routing algorithm named in ``config.algorithm``."""
+    """Instantiate the routing algorithm named in ``config.algorithm``.
+
+    ``route_table`` shares one precomputed :class:`RouteTable` across
+    consumers; when omitted the algorithm builds its own.
+    """
     try:
         cls = _ALGORITHMS[config.algorithm]
     except KeyError as exc:
         raise ValueError(f"unknown routing algorithm {config.algorithm!r}") from exc
-    return cls(topology, policy, selection, config, arrangement, rng)
+    return cls(topology, policy, selection, config, arrangement, rng, route_table)
 
 
 __all__ = [
@@ -48,5 +55,6 @@ __all__ = [
     "ValiantRouting",
     "ProgressiveAdaptiveRouting",
     "PiggybackRouting",
+    "RouteTable",
     "make_routing",
 ]

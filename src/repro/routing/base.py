@@ -35,6 +35,7 @@ from ..core.vc_policy import HopContext, HopKind, VcPolicy, VcRange
 from ..core.vc_selection import VcSelection
 from ..packet import Packet, RouteKind
 from ..topology.base import Topology
+from .route_table import RouteTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..router.router import Router
@@ -80,6 +81,7 @@ class RoutingAlgorithm(ABC):
         config: RoutingConfig,
         arrangement: VcArrangement,
         rng: random.Random,
+        route_table: Optional[RouteTable] = None,
     ) -> None:
         self.topology = topology
         self.policy = policy
@@ -87,12 +89,18 @@ class RoutingAlgorithm(ABC):
         self.config = config
         self.arrangement = arrangement
         self.rng = rng
+        #: dense precomputed minimal-route tables; every minimal next-port /
+        #: hop-sequence query on the hot path reads these instead of the
+        #: topology's per-pair computations.
+        self.route = route_table if route_table is not None else RouteTable(topology)
         #: reference-slot contribution of one minimal segment (phase), used to
         #: advance the baseline's slot offsets between phases.
         if topology.has_link_type_restrictions:
-            self.phase_ref = self._max_min_hop_counts()
+            self.phase_ref = topology.max_min_hop_counts()
         else:
             self.phase_ref = (max(2, topology.diameter), 0)
+        #: routers eligible as Valiant intermediates (None = all routers).
+        self._valiant_pool = topology.valiant_routers()
         #: memoized candidate hops — the construction is a pure function of
         #: (location, target, destination, class, input, phase state), and
         #: :class:`CandidateHop` objects are immutable in practice, so the
@@ -102,15 +110,6 @@ class RoutingAlgorithm(ABC):
         #: plan lists are shared and never mutated), and ejection requests.
         self._plan_memo: dict = {}
         self._ejection_memo: dict = {}
-
-    def _max_min_hop_counts(self) -> tuple[int, int]:
-        """Worst-case (local, global) hops of a minimal path in the topology."""
-        # Dragonfly: l-g-l; 2D Flattened Butterfly: one hop per dimension.
-        from ..topology.dragonfly import Dragonfly
-
-        if isinstance(self.topology, Dragonfly):
-            return (2, 1)
-        return (1, 1)
 
     # ------------------------------------------------------------------
     # Decision hooks
@@ -239,14 +238,14 @@ class RoutingAlgorithm(ABC):
         is_detour: bool,
         abandons_detour: bool,
     ) -> Optional[CandidateHop]:
-        out_port = self.topology.min_next_port(here, target_router)
+        out_port = self.route.next_port(here, target_router)
         if out_port is None:
             return None
         next_router = self.topology.neighbor(here, out_port)
         out_type = self.topology.link_type(here, out_port)
         intended = self._intended_remaining(here, packet, target_router, dst_router,
                                             abandons_detour)
-        escape = self.topology.min_hop_sequence(next_router, dst_router)
+        escape = self.route.hop_sequence(next_router, dst_router)
         ctx = HopContext(
             msg_class=packet.msg_class,
             out_type=out_type,
@@ -286,9 +285,9 @@ class RoutingAlgorithm(ABC):
         """Hop-type sequence of the packet's intended route from ``here``."""
         if abandons_detour or packet.route_kind == RouteKind.MINIMAL \
                 or packet.intermediate_reached:
-            return self.topology.min_hop_sequence(here, dst_router)
-        first_leg = self.topology.min_hop_sequence(here, target_router)
-        second_leg = self.topology.min_hop_sequence(target_router, dst_router)
+            return self.route.hop_sequence(here, dst_router)
+        first_leg = self.route.hop_sequence(here, target_router)
+        second_leg = self.route.hop_sequence(target_router, dst_router)
         return first_leg + second_leg
 
     # ------------------------------------------------------------------
@@ -299,7 +298,7 @@ class RoutingAlgorithm(ABC):
         packet.hops += 1
         packet.phase_position += 1
         if candidate.out_type == LinkType.GLOBAL:
-            packet.phase_global_taken = True
+            packet.phase_global_taken += 1
         if candidate.abandons_detour:
             # The packet reverts to its safe minimal continuation.
             packet.intermediate_reached = True
@@ -318,18 +317,34 @@ class RoutingAlgorithm(ABC):
     # Shared decision utilities (used by VAL / PAR / PB)
     # ------------------------------------------------------------------
     def _pick_intermediate(self, packet: Packet, src_router: int, dst_router: int) -> int:
-        """Uniformly random intermediate router distinct from source and destination."""
-        n = self.topology.num_routers
-        if n <= 2:
+        """Uniformly random eligible intermediate distinct from source and destination.
+
+        Topologies restrict the pool through
+        :meth:`~repro.topology.base.Topology.valiant_routers` (e.g. Megafly
+        limits it to node-attached leaf routers); the default pool is every
+        router.
+        """
+        pool = self._valiant_pool
+        if pool is None:
+            n = self.topology.num_routers
+            if n <= 2:
+                return dst_router
+            while True:
+                candidate = self.rng.randrange(n)
+                if candidate != src_router and candidate != dst_router:
+                    return candidate
+        m = len(pool)
+        if m <= 1:
             return dst_router
-        while True:
-            candidate = self.rng.randrange(n)
+        for _ in range(4 * m):
+            candidate = pool[self.rng.randrange(m)]
             if candidate != src_router and candidate != dst_router:
                 return candidate
+        return dst_router  # pragma: no cover - degenerate pools only
 
     def _local_queue_metric(self, router: "Router", target_router: int) -> int:
         """Credit occupancy of the output port on the minimal path to ``target_router``."""
-        out_port = self.topology.min_next_port(router.router_id, target_router)
+        out_port = self.route.next_port(router.router_id, target_router)
         if out_port is None:
             return 0
         minimal_only = self.config.pb_min_credits_only

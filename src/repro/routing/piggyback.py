@@ -3,10 +3,18 @@
 PB (Jiang, Kim & Dally, ISCA 2009) is the source-adaptive mechanism evaluated
 in Section V-C.  Every router measures the credit occupancy of its global
 ports, marks as *saturated* those whose occupancy exceeds the router's average
-by 50%, and piggybacks these bits to the other routers of its group.  At
-injection, the source router combines the saturation bit of the global link on
-the minimal path with a local UGAL-style credit comparison to decide between
-the minimal path and a Valiant detour.
+by 50%, and piggybacks these bits to the other routers of its group (the
+topology's LOCAL-connected router set — a Dragonfly group, a HyperX
+dimension-0 row, a Megafly leaf/spine group).  At injection, the source
+router combines the saturation bit of the first global link on the minimal
+path with a local UGAL-style credit comparison to decide between the minimal
+path and a Valiant detour.
+
+The first-global-link lookup reads the precomputed
+:class:`~repro.routing.route_table.RouteTable`; the bit is only available
+when that link is owned by a router of the source's own group (always true in
+a Dragonfly, where it is the classic "gateway router"), so no code here
+depends on the concrete topology.
 
 Sensing variants (Figure 8):
 
@@ -46,7 +54,7 @@ class PiggybackRouting(RoutingAlgorithm):
 
     def _queue_metric(self, router: "Router", target_router: int,
                       msg_class: MessageClass) -> int:
-        out_port = self.topology.min_next_port(router.router_id, target_router)
+        out_port = self.route.next_port(router.router_id, target_router)
         if out_port is None:
             return 0
         tracker = router.output_ports[out_port].credits
@@ -56,24 +64,25 @@ class PiggybackRouting(RoutingAlgorithm):
 
     def _min_global_saturated(self, router: "Router", packet: Packet,
                               dst_router: int) -> bool:
-        """Saturation bit of the global link on the packet's minimal path."""
-        from ..topology.dragonfly import Dragonfly
-
-        topo = self.topology
-        if not isinstance(topo, Dragonfly):
-            return False
-        src_group = topo.group_of(router.router_id)
-        dst_group = topo.group_of(dst_router)
-        if src_group == dst_group:
-            return False
-        gateway, gport = topo.gateway_router(src_group, dst_group)
+        """Saturation bit of the first global link on the packet's minimal path."""
         board = router.saturation_board
         if board is None:
+            return False
+        link = self.route.first_global_link(router.router_id, dst_router)
+        if link is None:
+            return False  # all-local path: no global link to protect
+        owner, gport = link
+        topo = self.topology
+        src_group, _ = topo.group_slot(router.router_id)
+        owner_group, owner_position = topo.group_slot(owner)
+        if owner_group != src_group:
+            # The minimal path enters its first global link outside the
+            # source's group: no piggybacked information is available.
             return False
         class_index = 1 if (packet.msg_class == MessageClass.REPLY
                             and self.arrangement.is_reactive
                             and self.config.pb_sensing == "vc") else 0
-        return board.is_saturated(topo.position_in_group(gateway), gport, class_index)
+        return board.is_saturated(owner_position, gport, class_index)
 
     # -- injection decision ---------------------------------------------------------
     def decide_at_injection(self, router: "Router", packet: Packet) -> None:
@@ -81,7 +90,7 @@ class PiggybackRouting(RoutingAlgorithm):
         dst_router = self.topology.router_of_node(packet.dst_node)
         if dst_router == src_router:
             return
-        seq = self.topology.min_hop_sequence(src_router, dst_router)
+        seq = self.route.hop_sequence(src_router, dst_router)
         if LinkType.GLOBAL not in seq:
             # Intra-group traffic: always minimal (no global link to protect).
             return

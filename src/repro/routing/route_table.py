@@ -1,0 +1,126 @@
+"""Dense precomputed minimal-route tables.
+
+Routing algorithms ask three questions on every forwarding decision: *which
+port starts the minimal path to router X*, *what hop-type sequence remains
+from router Y*, and (for Piggyback) *which global link does the minimal path
+cross first*.  All three are pure functions of ``(src, dst)`` on a static
+topology, so instead of memoizing them per algorithm instance in dictionaries
+keyed by tuples, a :class:`RouteTable` precomputes them once per simulation
+into dense ``array``/``bytes``-backed tables indexed by ``src * n + dst``:
+
+* ``next_port`` — ``array('i')`` of first-hop ports (-1 on the diagonal);
+* ``hop sequences`` — a ``bytes`` table of ids into the (small) set of
+  distinct hop-type sequences, so lookups return shared tuples;
+* ``first global link`` — ``array('i')`` pairs (owning router, global-port
+  index) of the first GLOBAL hop of each minimal path (-1 when the path
+  crosses none), which generalizes the Dragonfly "gateway router" that
+  Piggyback's remote-saturation sensing reads.
+
+Construction follows the topology's own :meth:`min_next_port` relation (not
+generic shortest paths), walking each not-yet-known pair until it merges into
+an already-filled suffix — O(n²) total work.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from ..core.link_types import HopSequence, LinkType
+from ..topology.base import Topology
+
+#: sentinel sequence id marking a not-yet-computed pair during construction.
+_UNKNOWN = 0xFF
+
+
+class RouteTable:
+    """Precomputed minimal next-hop ports and hop-type sequences."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        n = topology.num_routers
+        self._n = n
+        next_port = array("i", [-1]) * (n * n)
+        first_global = array("i", [-1]) * (2 * n * n)
+        seq_ids = bytearray([_UNKNOWN]) * (n * n)
+        sequences: List[HopSequence] = [()]
+        seq_index: Dict[HopSequence, int] = {(): 0}
+
+        for dst in range(n):
+            diagonal = dst * n + dst
+            next_port[diagonal] = -1
+            seq_ids[diagonal] = 0
+            for src in range(n):
+                if seq_ids[src * n + dst] != _UNKNOWN:
+                    continue
+                # Walk towards dst until hitting an already-known suffix.
+                path: List[Tuple[int, int, LinkType]] = []
+                current = src
+                while seq_ids[current * n + dst] == _UNKNOWN:
+                    port = topology.min_next_port(current, dst)
+                    if port is None or len(path) > n:
+                        raise RuntimeError(
+                            f"minimal route {src}->{dst} does not converge"
+                        )
+                    path.append((current, port, topology.link_type(current, port)))
+                    current = topology.neighbor(current, port)
+                tail_index = current * n + dst
+                tail_seq = sequences[seq_ids[tail_index]]
+                tail_fg_router = first_global[2 * tail_index]
+                tail_fg_port = first_global[2 * tail_index + 1]
+                for router, port, link_type in reversed(path):
+                    tail_seq = (link_type,) + tail_seq
+                    seq_id = seq_index.get(tail_seq)
+                    if seq_id is None:
+                        seq_id = len(sequences)
+                        if seq_id >= _UNKNOWN:
+                            raise RuntimeError(
+                                "route table overflow: more than 255 distinct "
+                                "hop-type sequences"
+                            )
+                        sequences.append(tail_seq)
+                        seq_index[tail_seq] = seq_id
+                    if link_type == LinkType.GLOBAL:
+                        tail_fg_router = router
+                        tail_fg_port = topology.global_port_index(router, port)
+                    index = router * n + dst
+                    next_port[index] = port
+                    seq_ids[index] = seq_id
+                    first_global[2 * index] = tail_fg_router
+                    first_global[2 * index + 1] = tail_fg_port
+
+        self._next_port = next_port
+        self._seq_ids = bytes(seq_ids)
+        self._sequences: Tuple[HopSequence, ...] = tuple(sequences)
+        self._first_global = first_global
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self._n
+
+    @property
+    def sequences(self) -> Tuple[HopSequence, ...]:
+        """The distinct minimal hop-type sequences of the topology."""
+        return self._sequences
+
+    def next_port(self, src: int, dst: int) -> Optional[int]:
+        """First port of the minimal path (None when ``src == dst``)."""
+        port = self._next_port[src * self._n + dst]
+        return None if port < 0 else port
+
+    def hop_sequence(self, src: int, dst: int) -> HopSequence:
+        """Hop-type sequence of the minimal path (shared tuple instances)."""
+        return self._sequences[self._seq_ids[src * self._n + dst]]
+
+    def distance(self, src: int, dst: int) -> int:
+        return len(self._sequences[self._seq_ids[src * self._n + dst]])
+
+    def first_global_link(self, src: int, dst: int) -> Optional[Tuple[int, int]]:
+        """(owning router, global-port index) of the minimal path's first
+        GLOBAL hop, or None when the path stays on LOCAL links."""
+        index = 2 * (src * self._n + dst)
+        router = self._first_global[index]
+        if router < 0:
+            return None
+        return router, self._first_global[index + 1]

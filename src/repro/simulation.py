@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
-from .config import SimulationConfig
+from .config import DEFAULT_DEADLOCK_WINDOW_CYCLES, SimulationConfig
 from .core.flexvc import make_policy
 from .core.link_types import LinkType
 from .core.vc_selection import make_selection
@@ -21,22 +21,22 @@ from .metrics import MetricsCollector, ResidentLedger, SimulationResult
 from .router.router import Router
 from .router.saturation import SaturationBoard
 from .routing import make_routing
+from .routing.route_table import RouteTable
 from .topology.base import Topology
-from .topology.dragonfly import Dragonfly
-from .topology.flattened_butterfly import FlattenedButterfly2D
 from .traffic import TrafficManager, make_generator
 
-#: A run is flagged as suspected-deadlocked when no packet is delivered for
-#: this many cycles while traffic is resident in the network.
-DEADLOCK_WINDOW_CYCLES = 2500
+#: Default suspected-deadlock window, re-exported for backward compatibility
+#: (see :attr:`repro.config.SimulationConfig.deadlock_window_cycles`).
+DEADLOCK_WINDOW_CYCLES = DEFAULT_DEADLOCK_WINDOW_CYCLES
 
 
 def build_topology(config: SimulationConfig) -> Topology:
-    """Instantiate the topology described by ``config.network``."""
-    net = config.network
-    if net.topology == "dragonfly":
-        return Dragonfly(h=net.h, p=net.p, a=net.a, num_groups=net.num_groups)
-    return FlattenedButterfly2D(k1=net.k1, k2=net.k2, p=net.fb_nodes_per_router)
+    """Instantiate the topology described by ``config.network``.
+
+    Thin wrapper over the topology registry
+    (:data:`repro.topology.TOPOLOGIES`), kept for backward compatibility.
+    """
+    return config.network.build()
 
 
 class Simulation:
@@ -48,6 +48,9 @@ class Simulation:
         self.rng = random.Random(config.seed)
         self.engine = Engine()
         self.topology = build_topology(config)
+        #: dense minimal-route tables, precomputed once and shared by every
+        #: routing consumer (plans, PAR/PB sensing, saturation lookups).
+        self.route_table = RouteTable(self.topology)
         self.metrics = MetricsCollector(
             num_nodes=self.topology.num_nodes,
             packet_size=config.traffic.packet_size,
@@ -57,6 +60,7 @@ class Simulation:
         self.routing = make_routing(
             self.topology, self.policy, self.selection,
             config.routing, config.arrangement, self.rng,
+            route_table=self.route_table,
         )
         self.routers: List[Router] = []
         self.traffic: Optional[TrafficManager] = None
@@ -125,20 +129,31 @@ class Simulation:
                 downstream.input_ports[back_port].credit_channel = channel
 
     def _attach_saturation_boards(self) -> None:
-        """Give every Dragonfly group a shared saturation board (Piggyback only)."""
+        """Give every router group a shared saturation board (Piggyback only).
+
+        Groups are the topology's LOCAL-connected router sets (Dragonfly
+        groups, HyperX rows, Megafly groups); each board is sized to the
+        group's widest router.  Groups without global links (e.g. a
+        single-dimension HyperX) carry no board — Piggyback then degenerates
+        to minimal routing, since no global link needs protecting.
+        """
         if self.config.routing.algorithm != "pb":
             return
-        if not isinstance(self.topology, Dragonfly):
-            raise ValueError("Piggyback routing is implemented for Dragonfly topologies")
         topo = self.topology
         boards: Dict[int, SaturationBoard] = {}
-        for group in range(topo.num_groups):
-            boards[group] = SaturationBoard(
-                positions=topo.a, global_ports=topo.h, classes=2,
+        for group_id, members in enumerate(topo.router_groups()):
+            width = max(topo.num_global_ports(router) for router in members)
+            if width == 0:
+                continue
+            boards[group_id] = SaturationBoard(
+                positions=len(members), global_ports=width, classes=2,
                 saturation_factor=self.config.routing.pb_saturation_factor,
             )
         for router in self.routers:
-            router.attach_saturation_board(boards[topo.group_of(router.router_id)])
+            group_id, position = topo.group_slot(router.router_id)
+            board = boards.get(group_id)
+            if board is not None:
+                router.attach_saturation_board(board, position)
         self._saturation_boards = boards
 
     def _build_traffic(self) -> None:
@@ -149,6 +164,13 @@ class Simulation:
             nodes_per_router=self.topology.nodes_per_router,
             metrics=self.metrics,
             reactive=self.config.traffic.reactive,
+            # Topologies with transit-only routers (Megafly spines) need the
+            # topology's own node mapping instead of the uniform division.
+            router_of_node=(
+                None
+                if self.topology.has_uniform_node_mapping
+                else self.topology.router_of_node
+            ),
         )
         self.engine.register_traffic(self.traffic)
 
@@ -175,10 +197,11 @@ class Simulation:
         """No delivery for a long stretch while packets remain in flight (O(1))."""
         if self._resident_ledger.count == 0:
             return False
+        window = self.config.deadlock_window_cycles
         last = self.metrics.last_delivery_cycle
         if last < 0:
-            return self.engine.now > DEADLOCK_WINDOW_CYCLES
-        return (self.engine.now - last) > DEADLOCK_WINDOW_CYCLES
+            return self.engine.now > window
+        return (self.engine.now - last) > window
 
     # -- diagnostics -----------------------------------------------------------------
     def total_resident_packets(self) -> int:

@@ -1,8 +1,13 @@
-"""Low-diameter topologies: Dragonfly and Flattened Butterfly."""
+"""Low-diameter topologies behind a pluggable registry.
+
+Importing this package registers the built-in topologies (Dragonfly,
+Flattened Butterfly, HyperX, Megafly) with :data:`TOPOLOGIES`; third-party
+code adds its own with :func:`register_topology`.
+"""
 
 from .base import PortInfo, Topology
-from .dragonfly import Dragonfly
-from .flattened_butterfly import FlattenedButterfly2D
+from .dragonfly import Dragonfly, DragonflyParams
+from .flattened_butterfly import FlattenedButterfly2D, FlattenedButterflyParams
 from .graph_utils import (
     bfs_distances,
     degree_histogram,
@@ -11,12 +16,25 @@ from .graph_utils import (
     to_networkx,
     verify_bidirectional,
 )
+from .hyperx import HyperX, HyperXParams
+from .megafly import Megafly, MegaflyParams
+from .registry import TOPOLOGIES, TopologyRegistry, TopologySpec, register_topology
 
 __all__ = [
     "Topology",
     "PortInfo",
     "Dragonfly",
+    "DragonflyParams",
     "FlattenedButterfly2D",
+    "FlattenedButterflyParams",
+    "HyperX",
+    "HyperXParams",
+    "Megafly",
+    "MegaflyParams",
+    "TOPOLOGIES",
+    "TopologyRegistry",
+    "TopologySpec",
+    "register_topology",
     "bfs_distances",
     "degree_histogram",
     "is_connected",

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
-from ..core.link_types import HopSequence, LinkType
+from ..core.link_types import HopSequence, LinkType, hop_counts
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,21 @@ class Topology(ABC):
 
     Router network ports are numbered ``0 .. radix-1`` per router; injection
     and ejection are handled by the router model, not by the topology.
+
+    Beyond connectivity, a topology *declares* the routing-relevant shape the
+    rest of the stack consumes generically (no implementation may special-case
+    a topology by name or type):
+
+    * :attr:`canonical_minimal_sequence` — the worst-case minimal hop-type
+      sequence between node-attached routers, from which reference paths and
+      VC requirements for MIN/VAL/PAR are derived;
+    * :attr:`worst_escape_sequence` — the worst-case minimal continuation
+      from an *arbitrary* router (longer than the canonical sequence only
+      when transit-only routers exist, e.g. Megafly spines);
+    * :meth:`router_groups` — the sets of routers connected through LOCAL
+      links, used for adversarial traffic and Piggyback saturation boards;
+    * :meth:`valiant_routers` — the routers eligible as Valiant
+      intermediates (``None`` = all routers).
     """
 
     # -- size ----------------------------------------------------------------
@@ -39,7 +54,7 @@ class Topology(ABC):
     @property
     @abstractmethod
     def nodes_per_router(self) -> int:
-        """Number of compute nodes attached to each router (``p``)."""
+        """Compute nodes attached to each node-bearing router (``p``)."""
 
     @property
     def num_nodes(self) -> int:
@@ -60,15 +75,43 @@ class Topology(ABC):
     def has_link_type_restrictions(self) -> bool:
         """True when links are typed and traversed in a fixed order (Dragonfly)."""
 
+    # -- declared routing shape -------------------------------------------------
+    @property
+    @abstractmethod
+    def canonical_minimal_sequence(self) -> HopSequence:
+        """Worst-case minimal hop-type sequence between node-attached routers.
+
+        E.g. ``(L, G, L)`` for a Dragonfly, ``(L, G)`` for a 2D Flattened
+        Butterfly, ``(L,) * diameter`` for untyped networks.
+        """
+
+    @property
+    def worst_escape_sequence(self) -> HopSequence:
+        """Worst-case minimal continuation from an arbitrary router."""
+        return self.canonical_minimal_sequence
+
+    def max_min_hop_counts(self) -> tuple[int, int]:
+        """Worst-case ``(local, global)`` hops of a minimal path."""
+        return hop_counts(self.canonical_minimal_sequence)
+
+    def valiant_routers(self) -> Optional[Sequence[int]]:
+        """Routers eligible as Valiant intermediates (``None`` = all)."""
+        return None
+
     # -- node/router mapping ---------------------------------------------------
     def router_of_node(self, node: int) -> int:
         self._check_node(node)
         return node // self.nodes_per_router
 
-    def nodes_of_router(self, router: int) -> range:
+    def nodes_of_router(self, router: int) -> Sequence[int]:
         self._check_router(router)
         p = self.nodes_per_router
         return range(router * p, (router + 1) * p)
+
+    @property
+    def has_uniform_node_mapping(self) -> bool:
+        """True when every router carries ``nodes_per_router`` contiguous nodes."""
+        return True
 
     # -- connectivity -----------------------------------------------------------
     @abstractmethod
@@ -91,6 +134,67 @@ class Topology(ABC):
         for info in self.ports(router):
             yield info.neighbor
 
+    # -- groups (LOCAL-connected router sets) -------------------------------------
+    def router_groups(self) -> List[List[int]]:
+        """Routers partitioned into LOCAL-connected components, sorted by id.
+
+        For a Dragonfly these are its groups, for a HyperX/Flattened
+        Butterfly the dimension-0 rows, for a Megafly the leaf+spine groups.
+        Subclasses may override with a closed form; the default computes the
+        components by traversal (cached).
+        """
+        cached = self.__dict__.get("_router_groups")
+        if cached is None:
+            cached = self._compute_router_groups()
+            self.__dict__["_router_groups"] = cached
+        return cached
+
+    def _compute_router_groups(self) -> List[List[int]]:
+        seen = [False] * self.num_routers
+        groups: List[List[int]] = []
+        for start in range(self.num_routers):
+            if seen[start]:
+                continue
+            component = [start]
+            seen[start] = True
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for info in self.ports(current):
+                    if info.link_type == LinkType.LOCAL and not seen[info.neighbor]:
+                        seen[info.neighbor] = True
+                        component.append(info.neighbor)
+                        frontier.append(info.neighbor)
+            component.sort()
+            groups.append(component)
+        return groups
+
+    def group_slot(self, router: int) -> tuple[int, int]:
+        """``(group_index, position_within_group)`` of ``router``."""
+        slots = self.__dict__.get("_group_slots")
+        if slots is None:
+            slots = [(-1, -1)] * self.num_routers
+            for gid, members in enumerate(self.router_groups()):
+                for position, member in enumerate(members):
+                    slots[member] = (gid, position)
+            self.__dict__["_group_slots"] = slots
+        return slots[router]
+
+    # -- global-port indexing (saturation boards) ------------------------------------
+    def num_global_ports(self, router: int) -> int:
+        """Number of GLOBAL-typed network ports of ``router``."""
+        return sum(1 for info in self.ports(router) if info.link_type == LinkType.GLOBAL)
+
+    def global_port_index(self, router: int, port: int) -> int:
+        """Index of GLOBAL port ``port`` among the router's global ports."""
+        if self.link_type(router, port) != LinkType.GLOBAL:
+            raise ValueError(f"port {port} of router {router} is not a global port")
+        return sum(
+            1
+            for info in self.ports(router)
+            if info.link_type == LinkType.GLOBAL and info.port < port
+        )
+
     # -- routing helpers ---------------------------------------------------------
     @abstractmethod
     def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
@@ -101,9 +205,28 @@ class Topology(ABC):
         the canonical traversal order (e.g. l-g-l in a Dragonfly).
         """
 
-    @abstractmethod
     def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
-        """Hop-type sequence of the minimal path ``src_router -> dst_router``."""
+        """Hop-type sequence of the minimal path ``src_router -> dst_router``.
+
+        The default walks :meth:`min_next_port`; subclasses may override with
+        a closed form.  (The hot path never calls either — it reads the
+        precomputed :class:`~repro.routing.route_table.RouteTable`.)
+        """
+        return self._walk_min_sequence(src_router, dst_router)
+
+    def _walk_min_sequence(self, src_router: int, dst_router: int) -> HopSequence:
+        seq: list[LinkType] = []
+        current = src_router
+        limit = self.num_routers
+        while current != dst_router:
+            port = self.min_next_port(current, dst_router)
+            if port is None or len(seq) > limit:
+                raise RuntimeError(
+                    f"minimal route {src_router}->{dst_router} does not converge"
+                )
+            seq.append(self.link_type(current, port))
+            current = self.neighbor(current, port)
+        return tuple(seq)
 
     def min_distance(self, src_router: int, dst_router: int) -> int:
         return len(self.min_hop_sequence(src_router, dst_router))
@@ -112,6 +235,13 @@ class Topology(ABC):
     def link_latency(self, link_type: LinkType, local: int, global_: int) -> int:
         """Latency of a link of ``link_type`` given per-type latencies."""
         return local if link_type == LinkType.LOCAL else global_
+
+    def describe(self) -> str:
+        """Human-readable summary of the configuration."""
+        return (
+            f"{type(self).__name__}: {self.num_routers} routers, "
+            f"{self.num_nodes} nodes, radix {self.radix}"
+        )
 
     # -- validation helpers ----------------------------------------------------------
     def _check_router(self, router: int) -> None:

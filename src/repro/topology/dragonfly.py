@@ -22,10 +22,12 @@ group is ``g - 2 - m``, which makes the assignment a bijection between the
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-from ..core.link_types import HopSequence, LinkType
+from ..core.link_types import G, HopSequence, L, LinkType
 from .base import PortInfo, Topology
+from .registry import register_topology
 
 
 class Dragonfly(Topology):
@@ -68,10 +70,6 @@ class Dragonfly(Topology):
             )
         self._local_ports = self.a - 1
         self._radix = self._local_ports + self.h
-        # Minimal-route memoization: both functions are pure in (src, dst) and
-        # sit on the routing hot path (every plan computation consults them).
-        self._min_port_cache: dict[tuple[int, int], Optional[int]] = {}
-        self._min_seq_cache: dict[tuple[int, int], tuple] = {}
 
     # -- size ------------------------------------------------------------------
     @property
@@ -93,6 +91,11 @@ class Dragonfly(Topology):
     @property
     def has_link_type_restrictions(self) -> bool:
         return True
+
+    @property
+    def canonical_minimal_sequence(self) -> HopSequence:
+        # l-g-l: at most one local hop on each side of the single global hop.
+        return (L, G, L)
 
     @property
     def num_local_ports(self) -> int:
@@ -257,14 +260,6 @@ class Dragonfly(Topology):
         return peer
 
     def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
-        try:
-            return self._min_port_cache[(src_router, dst_router)]
-        except KeyError:
-            result = self._compute_min_next_port(src_router, dst_router)
-            self._min_port_cache[(src_router, dst_router)] = result
-            return result
-
-    def _compute_min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
         self._check_router(src_router)
         self._check_router(dst_router)
         if src_router == dst_router:
@@ -278,14 +273,6 @@ class Dragonfly(Topology):
         return self.local_port_to(src_router, self.position_in_group(gw))
 
     def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
-        try:
-            return self._min_seq_cache[(src_router, dst_router)]
-        except KeyError:
-            result = self._compute_min_hop_sequence(src_router, dst_router)
-            self._min_seq_cache[(src_router, dst_router)] = result
-            return result
-
-    def _compute_min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
         self._check_router(src_router)
         self._check_router(dst_router)
         if src_router == dst_router:
@@ -303,6 +290,21 @@ class Dragonfly(Topology):
             seq.append(LinkType.LOCAL)
         return tuple(seq)
 
+    # -- groups / saturation ------------------------------------------------------------
+    def _compute_router_groups(self) -> List[List[int]]:
+        return [
+            list(range(group * self.a, (group + 1) * self.a))
+            for group in range(self.num_groups)
+        ]
+
+    def num_global_ports(self, router: int) -> int:
+        return self.h
+
+    def global_port_index(self, router: int, port: int) -> int:
+        if not self.is_global_port(port):
+            raise ValueError(f"port {port} of router {router} is not a global port")
+        return port - self._local_ports
+
     # -- misc -------------------------------------------------------------------------
     def describe(self) -> str:
         """Human-readable summary of the configuration."""
@@ -314,3 +316,36 @@ class Dragonfly(Topology):
     def _check_port(self, port: int) -> None:
         if not 0 <= port < self.radix:
             raise ValueError(f"port {port} out of range [0, {self.radix})")
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DragonflyParams:
+    """Parameters of the balanced Dragonfly (Table V uses ``h=8``)."""
+
+    h: int = 2
+    p: Optional[int] = None
+    a: Optional[int] = None
+    num_groups: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.h < 1:
+            raise ValueError("Dragonfly h must be >= 1")
+        if self.p is not None and self.p < 1:
+            raise ValueError("Dragonfly p must be >= 1")
+        if self.a is not None and self.a < 2:
+            raise ValueError("Dragonfly a must be >= 2")
+
+
+@register_topology(
+    "dragonfly",
+    DragonflyParams,
+    description="balanced Dragonfly (Kim et al.): groups of a routers, "
+                "all-to-all local and group-level global links",
+    legacy_fields={"h": "h", "p": "p", "a": "a", "num_groups": "num_groups"},
+)
+def _build_dragonfly(params: DragonflyParams) -> Dragonfly:
+    return Dragonfly(h=params.h, p=params.p, a=params.a, num_groups=params.num_groups)

@@ -1,4 +1,4 @@
-"""2D Flattened Butterfly / HyperX-style topology.
+"""2D Flattened Butterfly — a thin alias of :class:`repro.topology.hyperx.HyperX`.
 
 Routers form a ``k1 x k2`` grid; within each row and each column routers are
 fully connected.  Under dimension-order routing (DOR) packets first correct
@@ -11,18 +11,22 @@ Setting ``k2 = 1`` degenerates into a single fully-connected dimension — a
 convenient stand-in for a *generic diameter-1/2 network without link-type
 restrictions* (all links LOCAL), which is how the paper's Tables I and II and
 Figures 1, 3 and 4 are framed.
+
+All behaviour (port layout, DOR order, link typing) lives in the generalized
+:class:`HyperX`; this class only pins ``L = 2`` and keeps the historical
+``k1``/``k2``/``p`` parameter names.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
-from ..core.link_types import HopSequence, LinkType
-from .base import PortInfo, Topology
+from .hyperx import HyperX
+from .registry import register_topology
 
 
-class FlattenedButterfly2D(Topology):
-    """Fully-connected 2D Flattened Butterfly (HyperX with S=1).
+class FlattenedButterfly2D(HyperX):
+    """Fully-connected 2D Flattened Butterfly (HyperX with L=2, K=1).
 
     Parameters
     ----------
@@ -38,114 +42,15 @@ class FlattenedButterfly2D(Topology):
             raise ValueError("k1 must be >= 2")
         if k2 < 1:
             raise ValueError("k2 must be >= 1")
-        if p < 1:
-            raise ValueError("p must be >= 1")
-        self.k1 = k1
-        self.k2 = k2
-        self.p = p
-        self._dim0_ports = k1 - 1
-        self._dim1_ports = k2 - 1
-
-    # -- size ------------------------------------------------------------------
-    @property
-    def num_routers(self) -> int:
-        return self.k1 * self.k2
+        super().__init__(dims=(k1, k2), p=p)
 
     @property
-    def nodes_per_router(self) -> int:
-        return self.p
+    def k1(self) -> int:
+        return self.dims[0]
 
     @property
-    def radix(self) -> int:
-        return self._dim0_ports + self._dim1_ports
-
-    @property
-    def diameter(self) -> int:
-        return (1 if self.k1 > 1 else 0) + (1 if self.k2 > 1 else 0)
-
-    @property
-    def has_link_type_restrictions(self) -> bool:
-        # Under DOR the two dimensions are traversed in a fixed order.
-        return self.k2 > 1
-
-    # -- coordinates --------------------------------------------------------------
-    def coords(self, router: int) -> tuple[int, int]:
-        self._check_router(router)
-        return router % self.k1, router // self.k1
-
-    def router_at(self, x: int, y: int) -> int:
-        if not (0 <= x < self.k1 and 0 <= y < self.k2):
-            raise ValueError(f"coordinates ({x}, {y}) out of range")
-        return y * self.k1 + x
-
-    # -- port layout ----------------------------------------------------------------
-    # ports [0, k1-2]            : dimension-0 (LOCAL) links
-    # ports [k1-1, k1-1+k2-2]    : dimension-1 (GLOBAL) links
-    def link_type(self, router: int, port: int) -> LinkType:
-        self._check_port(port)
-        return LinkType.LOCAL if port < self._dim0_ports else LinkType.GLOBAL
-
-    def _dim0_port_target(self, x: int, port: int) -> int:
-        return port if port < x else port + 1
-
-    def _dim1_port_target(self, y: int, port: int) -> int:
-        rel = port - self._dim0_ports
-        return rel if rel < y else rel + 1
-
-    def ports(self, router: int) -> Sequence[PortInfo]:
-        x, y = self.coords(router)
-        infos: list[PortInfo] = []
-        for port in range(self._dim0_ports):
-            tx = self._dim0_port_target(x, port)
-            infos.append(PortInfo(port=port, neighbor=self.router_at(tx, y),
-                                  link_type=LinkType.LOCAL))
-        for port in range(self._dim0_ports, self.radix):
-            ty = self._dim1_port_target(y, port)
-            infos.append(PortInfo(port=port, neighbor=self.router_at(x, ty),
-                                  link_type=LinkType.GLOBAL))
-        return infos
-
-    def neighbor(self, router: int, port: int) -> int:
-        x, y = self.coords(router)
-        self._check_port(port)
-        if port < self._dim0_ports:
-            return self.router_at(self._dim0_port_target(x, port), y)
-        return self.router_at(x, self._dim1_port_target(y, port))
-
-    def port_to(self, router: int, neighbor: int) -> Optional[int]:
-        if router == neighbor:
-            return None
-        x, y = self.coords(router)
-        nx, ny = self.coords(neighbor)
-        if y == ny and x != nx:
-            return nx if nx < x else nx - 1
-        if x == nx and y != ny:
-            rel = ny if ny < y else ny - 1
-            return self._dim0_ports + rel
-        return None
-
-    # -- minimal (DOR) routing ----------------------------------------------------------
-    def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
-        if src_router == dst_router:
-            return None
-        x, y = self.coords(src_router)
-        dx, dy = self.coords(dst_router)
-        if x != dx:
-            return dx if dx < x else dx - 1
-        rel = dy if dy < y else dy - 1
-        return self._dim0_ports + rel
-
-    def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
-        if src_router == dst_router:
-            return ()
-        x, y = self.coords(src_router)
-        dx, dy = self.coords(dst_router)
-        seq: list[LinkType] = []
-        if x != dx:
-            seq.append(LinkType.LOCAL)
-        if y != dy:
-            seq.append(LinkType.GLOBAL)
-        return tuple(seq)
+    def k2(self) -> int:
+        return self.dims[1]
 
     def describe(self) -> str:
         return (
@@ -153,6 +58,33 @@ class FlattenedButterfly2D(Topology):
             f"{self.num_routers} routers, {self.num_nodes} nodes, radix {self.radix}"
         )
 
-    def _check_port(self, port: int) -> None:
-        if not 0 <= port < self.radix:
-            raise ValueError(f"port {port} out of range [0, {self.radix})")
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FlattenedButterflyParams:
+    """Parameters of the 2D Flattened Butterfly."""
+
+    k1: int = 4
+    k2: int = 4
+    nodes_per_router: int = 2
+
+    def validate(self) -> None:
+        if self.k1 < 2 or self.k2 < 1:
+            raise ValueError("Flattened Butterfly needs k1 >= 2 and k2 >= 1")
+        if self.nodes_per_router < 1:
+            raise ValueError("nodes_per_router must be >= 1")
+
+
+@register_topology(
+    "flattened_butterfly",
+    FlattenedButterflyParams,
+    description="2D Flattened Butterfly (HyperX L=2): fully-connected rows "
+                "and columns under dimension-order routing",
+    aliases=("fb", "flattened-butterfly"),
+    legacy_fields={"k1": "k1", "k2": "k2", "fb_nodes_per_router": "nodes_per_router"},
+)
+def _build_flattened_butterfly(params: FlattenedButterflyParams) -> FlattenedButterfly2D:
+    return FlattenedButterfly2D(k1=params.k1, k2=params.k2, p=params.nodes_per_router)

@@ -1,0 +1,268 @@
+"""HyperX topology: L fully-connected dimensions (Ahn et al., SC 2008).
+
+A regular HyperX(L, S, K) arranges routers on an L-dimensional lattice with
+``S_d`` routers per dimension; within every dimension each router is fully
+connected to the ``S_d - 1`` routers sharing its other coordinates.  ``K`` is
+the per-link trunking factor; this model implements ``K = 1`` (single links).
+
+Under dimension-order routing (DOR) packets correct dimension 0 first and
+then the higher dimensions in ascending order, which gives the topology a
+diameter equal to its number of non-degenerate dimensions and link-type
+restrictions analogous to the Dragonfly's l-g-l order: dimension-0 links are
+mapped to :class:`LinkType.LOCAL` and all higher dimensions to
+:class:`LinkType.GLOBAL` (one global *slot* per extra dimension, in traversal
+order).  The 2D instance is exactly the paper's Flattened Butterfly
+(:class:`repro.topology.flattened_butterfly.FlattenedButterfly2D` is a thin
+alias); a single dimension degenerates into a complete graph — the "generic
+low-diameter network without link-type restrictions" of Tables I and II.
+
+Coordinates are mixed-radix with dimension 0 fastest:
+``router = x0 + x1*S_0 + x2*S_0*S_1 + ...``.  Ports are laid out
+dimension-major, within each dimension ordered by target coordinate
+(skipping the router's own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.link_types import G, HopSequence, L, LinkType
+from .base import PortInfo, Topology
+from .registry import register_topology
+
+
+class HyperX(Topology):
+    """Regular HyperX with per-dimension sizes ``dims`` and ``p`` nodes/router.
+
+    Parameters
+    ----------
+    dims:
+        Routers per dimension, ``(S_0, ..., S_{L-1})``.  ``S_0 >= 2``;
+        higher dimensions may be 1 (degenerate, no links).
+    p:
+        Compute nodes per router.
+    """
+
+    def __init__(self, dims: Sequence[int], p: int) -> None:
+        dims = tuple(int(s) for s in dims)
+        if not dims:
+            raise ValueError("HyperX needs at least one dimension")
+        if dims[0] < 2:
+            raise ValueError("HyperX dimension 0 must have at least 2 routers")
+        if any(s < 1 for s in dims[1:]):
+            raise ValueError("HyperX dimension sizes must be >= 1")
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        self.dims = dims
+        self.p = p
+        #: first port of each dimension (prefix sums of S_d - 1).
+        self._port_base: Tuple[int, ...] = tuple(
+            sum(s - 1 for s in dims[:d]) for d in range(len(dims))
+        )
+        self._radix = sum(s - 1 for s in dims)
+        #: mixed-radix strides, dimension 0 fastest.
+        strides = [1] * len(dims)
+        for d in range(1, len(dims)):
+            strides[d] = strides[d - 1] * dims[d - 1]
+        self._strides: Tuple[int, ...] = tuple(strides)
+
+    # -- size ------------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        n = 1
+        for s in self.dims:
+            n *= s
+        return n
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def radix(self) -> int:
+        return self._radix
+
+    @property
+    def diameter(self) -> int:
+        return sum(1 for s in self.dims if s > 1)
+
+    @property
+    def has_link_type_restrictions(self) -> bool:
+        # Under DOR the dimensions are traversed in a fixed order; with a
+        # single populated dimension there is nothing to order.
+        return any(s > 1 for s in self.dims[1:])
+
+    @property
+    def canonical_minimal_sequence(self) -> HopSequence:
+        return (L,) + (G,) * sum(1 for s in self.dims[1:] if s > 1)
+
+    # -- coordinates ------------------------------------------------------------
+    def coords(self, router: int) -> Tuple[int, ...]:
+        self._check_router(router)
+        return tuple(
+            (router // self._strides[d]) % self.dims[d] for d in range(len(self.dims))
+        )
+
+    def router_at(self, *coords: int) -> int:
+        if len(coords) != len(self.dims):
+            raise ValueError(f"expected {len(self.dims)} coordinates, got {len(coords)}")
+        router = 0
+        for d, (x, s) in enumerate(zip(coords, self.dims)):
+            if not 0 <= x < s:
+                raise ValueError(f"coordinate {x} out of range for dimension {d}")
+            router += x * self._strides[d]
+        return router
+
+    def _port_dim(self, port: int) -> int:
+        """Dimension a port belongs to."""
+        self._check_port(port)
+        for d in range(len(self.dims) - 1, -1, -1):
+            if port >= self._port_base[d]:
+                return d
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _port_target(self, own: int, rel: int) -> int:
+        """Target coordinate of the ``rel``-th port of a dimension."""
+        return rel if rel < own else rel + 1
+
+    def _port_for(self, d: int, own: int, target: int) -> int:
+        """Port reaching coordinate ``target`` of dimension ``d``."""
+        return self._port_base[d] + (target if target < own else target - 1)
+
+    # -- Topology interface ------------------------------------------------------
+    def link_type(self, router: int, port: int) -> LinkType:
+        return LinkType.LOCAL if self._port_dim(port) == 0 else LinkType.GLOBAL
+
+    def ports(self, router: int) -> Sequence[PortInfo]:
+        coords = self.coords(router)
+        infos: List[PortInfo] = []
+        for d, s in enumerate(self.dims):
+            own = coords[d]
+            stride = self._strides[d]
+            link_type = LinkType.LOCAL if d == 0 else LinkType.GLOBAL
+            for rel in range(s - 1):
+                target = self._port_target(own, rel)
+                infos.append(
+                    PortInfo(
+                        port=self._port_base[d] + rel,
+                        neighbor=router + (target - own) * stride,
+                        link_type=link_type,
+                    )
+                )
+        return infos
+
+    def neighbor(self, router: int, port: int) -> int:
+        coords = self.coords(router)
+        d = self._port_dim(port)
+        own = coords[d]
+        target = self._port_target(own, port - self._port_base[d])
+        return router + (target - own) * self._strides[d]
+
+    def port_to(self, router: int, neighbor: int) -> Optional[int]:
+        if router == neighbor:
+            return None
+        a, b = self.coords(router), self.coords(neighbor)
+        differing = [d for d in range(len(self.dims)) if a[d] != b[d]]
+        if len(differing) != 1:
+            return None
+        d = differing[0]
+        return self._port_for(d, a[d], b[d])
+
+    # -- minimal (DOR) routing ----------------------------------------------------
+    def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
+        if src_router == dst_router:
+            self._check_router(src_router)
+            self._check_router(dst_router)
+            return None
+        src, dst = self.coords(src_router), self.coords(dst_router)
+        for d in range(len(self.dims)):
+            if src[d] != dst[d]:
+                return self._port_for(d, src[d], dst[d])
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
+        src, dst = self.coords(src_router), self.coords(dst_router)
+        return tuple(
+            L if d == 0 else G
+            for d in range(len(self.dims))
+            if src[d] != dst[d]
+        )
+
+    # -- groups / saturation --------------------------------------------------------
+    def _compute_router_groups(self) -> List[List[int]]:
+        # Dimension-0 rows; with dimension 0 fastest these are contiguous.
+        s0 = self.dims[0]
+        return [
+            list(range(base, base + s0))
+            for base in range(0, self.num_routers, s0)
+        ]
+
+    def num_global_ports(self, router: int) -> int:
+        return self._radix - (self.dims[0] - 1)
+
+    def global_port_index(self, router: int, port: int) -> int:
+        if port < self.dims[0] - 1:
+            raise ValueError(f"port {port} of router {router} is not a global port")
+        self._check_port(port)
+        return port - (self.dims[0] - 1)
+
+    # -- misc -------------------------------------------------------------------------
+    def describe(self) -> str:
+        dims = "x".join(str(s) for s in self.dims)
+        return (
+            f"HyperX(S={dims}, p={self.p}): {self.num_routers} routers, "
+            f"{self.num_nodes} nodes, radix {self.radix}"
+        )
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.radix:
+            raise ValueError(f"port {port} out of range [0, {self.radix})")
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HyperXParams:
+    """HyperX(L, S, K) parameters.
+
+    ``s`` is the per-dimension size vector (its length is L); a scalar ``s``
+    with ``l`` builds the regular S^L lattice.  Only ``k = 1`` (no link
+    trunking) is modeled.
+    """
+
+    s: Union[int, Tuple[int, ...]] = (4, 4)
+    l: Optional[int] = None
+    k: int = 1
+    nodes_per_router: int = 2
+
+    def dims(self) -> Tuple[int, ...]:
+        if isinstance(self.s, int):
+            return (self.s,) * (self.l if self.l is not None else 2)
+        return tuple(self.s)
+
+    def validate(self) -> None:
+        if self.k != 1:
+            raise ValueError("only HyperX K=1 (no link trunking) is modeled")
+        if self.l is not None and self.l < 1:
+            raise ValueError("HyperX L must be >= 1")
+        if not isinstance(self.s, int) and self.l is not None \
+                and self.l != len(tuple(self.s)):
+            raise ValueError("HyperX L does not match the length of S")
+        dims = self.dims()
+        if not dims or dims[0] < 2 or any(x < 1 for x in dims):
+            raise ValueError(f"invalid HyperX dimension sizes {dims}")
+        if self.nodes_per_router < 1:
+            raise ValueError("nodes_per_router must be >= 1")
+
+
+@register_topology(
+    "hyperx",
+    HyperXParams,
+    description="HyperX(L, S, K=1): L fully-connected dimensions under "
+                "dimension-order routing",
+)
+def _build_hyperx(params: HyperXParams) -> HyperX:
+    return HyperX(dims=params.dims(), p=params.nodes_per_router)

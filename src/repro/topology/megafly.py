@@ -1,0 +1,400 @@
+"""Megafly / Dragonfly+ topology (Flajslik et al.; Shpiner et al.).
+
+Groups are two-level fat trees: ``leaves`` leaf routers (each attaching ``p``
+compute nodes) are completely bipartitely connected to ``spines`` spine
+routers through *local* links; each spine additionally drives ``h`` *global*
+links.  Groups are connected pairwise through the spines' global links using
+the same consecutive (palmtree) channel arrangement as the Dragonfly: global
+channel ``m = spine_position*h + k`` of group ``i`` connects to group
+``(i + m + 1) mod g``, giving ``g = spines*h + 1`` groups when fully
+populated.
+
+Minimal paths between compute nodes are at most leaf-spine-global-spine-leaf,
+i.e. an l-g-l hop-type shape identical to the Dragonfly (intra-group traffic
+takes leaf-spine-leaf, two local hops), so the same VC arrangements apply.
+Spine routers attach no nodes; they are transit-only, which is why the
+worst-case *escape* path (from a spine that does not own the required global
+channel) is one local hop longer than the canonical minimal sequence, and why
+Valiant intermediates are restricted to leaf routers.
+
+Router ids place each group's leaves first, then its spines:
+``group * (leaves + spines) + position``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.link_types import G, HopSequence, L, LinkType
+from .base import PortInfo, Topology
+from .registry import register_topology
+
+
+class Megafly(Topology):
+    """Two-level fat-tree groups with Dragonfly-style global connectivity.
+
+    Parameters
+    ----------
+    spines, leaves:
+        Routers per group level.  Leaves carry the compute nodes; spines own
+        the global links.
+    h:
+        Global links per spine router.
+    p:
+        Compute nodes per leaf router.
+    num_groups:
+        Optional override of the fully-populated default ``spines*h + 1``.
+    """
+
+    def __init__(
+        self,
+        spines: int,
+        leaves: int,
+        h: int,
+        p: int,
+        num_groups: Optional[int] = None,
+    ) -> None:
+        if spines < 1 or leaves < 1:
+            raise ValueError("spines and leaves must be >= 1")
+        if h < 1:
+            raise ValueError("h must be >= 1")
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        self.spines = spines
+        self.leaves = leaves
+        self.h = h
+        self.p = p
+        max_groups = spines * h + 1
+        self.num_groups = num_groups if num_groups is not None else max_groups
+        if not 2 <= self.num_groups <= max_groups:
+            raise ValueError(
+                f"num_groups must be in [2, {max_groups}] for spines={spines}, "
+                f"h={h}; got {self.num_groups}"
+            )
+        self._group_size = leaves + spines
+        self._nodes_per_group = leaves * p
+
+    # -- size ------------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self.num_groups * self._group_size
+
+    @property
+    def nodes_per_router(self) -> int:
+        return self.p
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_groups * self._nodes_per_group
+
+    @property
+    def radix(self) -> int:
+        # Leaves use `spines` ports, spines use `leaves + h`; the router
+        # model sizes ports per router from ports(), so report the maximum.
+        return max(self.spines, self.leaves + self.h)
+
+    @property
+    def diameter(self) -> int:
+        # Worst *routed* minimal path: spine -> leaf -> gateway spine ->
+        # global -> entry spine -> leaf -> destination spine.  Between
+        # compute-node routers (leaves) the diameter is 3.
+        return 5
+
+    @property
+    def has_link_type_restrictions(self) -> bool:
+        return True
+
+    @property
+    def canonical_minimal_sequence(self) -> HopSequence:
+        # leaf - spine - global - spine - leaf; the intra-group leaf-spine-leaf
+        # path is covered by the same (2 local, 1 global) envelope.
+        return (L, G, L)
+
+    @property
+    def worst_escape_sequence(self) -> HopSequence:
+        # From a spine that does not own the required global channel:
+        # spine -> leaf -> gateway spine -> global -> entry spine(-> leaf).
+        return (L, L, G, L)
+
+    def valiant_routers(self) -> Sequence[int]:
+        """Only leaf routers serve as Valiant intermediates (spines carry no
+        nodes and would add up to two extra local hops per segment)."""
+        cached = self.__dict__.get("_valiant_routers")
+        if cached is None:
+            cached = [
+                group * self._group_size + leaf
+                for group in range(self.num_groups)
+                for leaf in range(self.leaves)
+            ]
+            self.__dict__["_valiant_routers"] = cached
+        return cached
+
+    # -- coordinates ------------------------------------------------------------
+    def group_of(self, router: int) -> int:
+        self._check_router(router)
+        return router // self._group_size
+
+    def position_in_group(self, router: int) -> int:
+        self._check_router(router)
+        return router % self._group_size
+
+    def is_spine(self, router: int) -> bool:
+        return self.position_in_group(router) >= self.leaves
+
+    def spine_position(self, router: int) -> int:
+        """Index of a spine router within its group's spine level."""
+        position = self.position_in_group(router)
+        if position < self.leaves:
+            raise ValueError(f"router {router} is a leaf, not a spine")
+        return position - self.leaves
+
+    def leaf_id(self, group: int, leaf: int) -> int:
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"group {group} out of range")
+        if not 0 <= leaf < self.leaves:
+            raise ValueError(f"leaf {leaf} out of range")
+        return group * self._group_size + leaf
+
+    def spine_id(self, group: int, spine: int) -> int:
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"group {group} out of range")
+        if not 0 <= spine < self.spines:
+            raise ValueError(f"spine {spine} out of range")
+        return group * self._group_size + self.leaves + spine
+
+    # -- node mapping -------------------------------------------------------------
+    @property
+    def has_uniform_node_mapping(self) -> bool:
+        return False
+
+    def router_of_node(self, node: int) -> int:
+        self._check_node(node)
+        group, within = divmod(node, self._nodes_per_group)
+        return group * self._group_size + within // self.p
+
+    def nodes_of_router(self, router: int) -> Sequence[int]:
+        self._check_router(router)
+        group = router // self._group_size
+        position = router % self._group_size
+        if position >= self.leaves:
+            return range(0)  # spines attach no nodes
+        first = group * self._nodes_per_group + position * self.p
+        return range(first, first + self.p)
+
+    # -- global channel arithmetic ---------------------------------------------------
+    def global_channel_to_group(self, src_group: int, dst_group: int) -> Optional[int]:
+        """Global channel of ``src_group`` that reaches ``dst_group`` directly."""
+        if src_group == dst_group:
+            raise ValueError("groups are identical")
+        channel = (dst_group - src_group) % self.num_groups - 1
+        if channel >= self.spines * self.h:
+            return None
+        return channel
+
+    def gateway_spine(self, src_group: int, dst_group: int) -> Tuple[int, int]:
+        """(router, global_port_index) in ``src_group`` owning the link to ``dst_group``."""
+        channel = self.global_channel_to_group(src_group, dst_group)
+        if channel is None:
+            raise ValueError(
+                f"groups {src_group} and {dst_group} are not directly connected "
+                "(partially-populated Megafly)"
+            )
+        return self.spine_id(src_group, channel // self.h), channel % self.h
+
+    def global_peer(self, router: int, global_port: int) -> Optional[int]:
+        """Spine at the far end of a global port (None when unpopulated)."""
+        if not 0 <= global_port < self.h:
+            raise ValueError(f"global port {global_port} out of range [0, {self.h})")
+        group = self.group_of(router)
+        channel = self.spine_position(router) * self.h + global_port
+        if channel + 1 >= self.num_groups:
+            return None  # peer group does not exist (partially populated)
+        dst_group = (group + channel + 1) % self.num_groups
+        peer_channel = (group - dst_group) % self.num_groups - 1
+        if peer_channel >= self.spines * self.h:
+            return None
+        return self.spine_id(dst_group, peer_channel // self.h)
+
+    # -- Topology interface ------------------------------------------------------------
+    # Leaf ports:  [0, spines)            LOCAL up-links, one per spine.
+    # Spine ports: [0, leaves)            LOCAL down-links, one per leaf;
+    #              [leaves, leaves + h)   GLOBAL links.
+    def link_type(self, router: int, port: int) -> LinkType:
+        if self.is_spine(router):
+            if not 0 <= port < self.leaves + self.h:
+                raise ValueError(f"port {port} out of range for spine {router}")
+            return LinkType.LOCAL if port < self.leaves else LinkType.GLOBAL
+        if not 0 <= port < self.spines:
+            raise ValueError(f"port {port} out of range for leaf {router}")
+        return LinkType.LOCAL
+
+    def ports(self, router: int) -> Sequence[PortInfo]:
+        self._check_router(router)
+        group = self.group_of(router)
+        infos: List[PortInfo] = []
+        if self.is_spine(router):
+            for leaf in range(self.leaves):
+                infos.append(
+                    PortInfo(port=leaf, neighbor=self.leaf_id(group, leaf),
+                             link_type=LinkType.LOCAL)
+                )
+            for k in range(self.h):
+                peer = self.global_peer(router, k)
+                if peer is not None:
+                    infos.append(
+                        PortInfo(port=self.leaves + k, neighbor=peer,
+                                 link_type=LinkType.GLOBAL)
+                    )
+        else:
+            for spine in range(self.spines):
+                infos.append(
+                    PortInfo(port=spine, neighbor=self.spine_id(group, spine),
+                             link_type=LinkType.LOCAL)
+                )
+        return infos
+
+    def neighbor(self, router: int, port: int) -> int:
+        group = self.group_of(router)
+        if self.is_spine(router):
+            if 0 <= port < self.leaves:
+                return self.leaf_id(group, port)
+            if self.leaves <= port < self.leaves + self.h:
+                peer = self.global_peer(router, port - self.leaves)
+                if peer is None:
+                    raise ValueError(
+                        f"global port {port} of spine {router} is unpopulated"
+                    )
+                return peer
+            raise ValueError(f"port {port} out of range for spine {router}")
+        if not 0 <= port < self.spines:
+            raise ValueError(f"port {port} out of range for leaf {router}")
+        return self.spine_id(group, port)
+
+    def port_to(self, router: int, neighbor: int) -> Optional[int]:
+        self._check_router(router)
+        self._check_router(neighbor)
+        if router == neighbor:
+            return None
+        g_r, g_n = self.group_of(router), self.group_of(neighbor)
+        if g_r == g_n:
+            if self.is_spine(router) == self.is_spine(neighbor):
+                return None  # same level: not adjacent
+            if self.is_spine(router):
+                return self.position_in_group(neighbor)
+            return self.spine_position(neighbor)
+        if not (self.is_spine(router) and self.is_spine(neighbor)):
+            return None
+        channel = self.global_channel_to_group(g_r, g_n)
+        if channel is None:
+            return None
+        if self.spine_id(g_r, channel // self.h) != router:
+            return None
+        gport = channel % self.h
+        if self.global_peer(router, gport) != neighbor:
+            return None
+        return self.leaves + gport
+
+    # -- minimal routing ------------------------------------------------------------
+    def _up_spine(self, src_pos: int, dst_pos: int, count: int) -> int:
+        """Deterministic spread of intra-level transit choices."""
+        return (src_pos + dst_pos) % count
+
+    def min_next_port(self, src_router: int, dst_router: int) -> Optional[int]:
+        self._check_router(src_router)
+        self._check_router(dst_router)
+        if src_router == dst_router:
+            return None
+        sg, dg = self.group_of(src_router), self.group_of(dst_router)
+        src_pos = self.position_in_group(src_router)
+        dst_pos = self.position_in_group(dst_router)
+        if sg == dg:
+            if self.is_spine(src_router) != self.is_spine(dst_router):
+                # Directly adjacent levels.
+                return self.port_to(src_router, dst_router)
+            if self.is_spine(src_router):
+                # spine -> spine: descend through a deterministic leaf.
+                return self._up_spine(src_pos - self.leaves,
+                                      dst_pos - self.leaves, self.leaves)
+            # leaf -> leaf: ascend through a deterministic spine.
+            return self._up_spine(src_pos, dst_pos, self.spines)
+        gateway, gport = self.gateway_spine(sg, dg)
+        if src_router == gateway:
+            return self.leaves + gport
+        if self.is_spine(src_router):
+            # Descend to a deterministic leaf, which will ascend to the gateway.
+            return self._up_spine(self.spine_position(src_router),
+                                  self.spine_position(gateway), self.leaves)
+        # Leaf: ascend straight to the gateway spine.
+        return self.spine_position(gateway)
+
+    # min_hop_sequence: inherited walk over min_next_port (the hot path reads
+    # the precomputed RouteTable instead).
+
+    # -- groups / saturation ------------------------------------------------------------
+    def _compute_router_groups(self) -> List[List[int]]:
+        return [
+            list(range(group * self._group_size, (group + 1) * self._group_size))
+            for group in range(self.num_groups)
+        ]
+
+    def num_global_ports(self, router: int) -> int:
+        return self.h if self.is_spine(router) else 0
+
+    def global_port_index(self, router: int, port: int) -> int:
+        if not self.is_spine(router) or not self.leaves <= port < self.leaves + self.h:
+            raise ValueError(f"port {port} of router {router} is not a global port")
+        return port - self.leaves
+
+    # -- misc -------------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"Megafly(spines={self.spines}, leaves={self.leaves}, h={self.h}, "
+            f"p={self.p}, groups={self.num_groups}): {self.num_routers} routers, "
+            f"{self.num_nodes} nodes"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MegaflyParams:
+    """Megafly / Dragonfly+ parameters."""
+
+    spines: int = 2
+    leaves: int = 2
+    h: int = 2
+    nodes_per_router: int = 2
+    num_groups: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.spines < 1 or self.leaves < 1:
+            raise ValueError("Megafly spines and leaves must be >= 1")
+        if self.h < 1:
+            raise ValueError("Megafly h must be >= 1")
+        if self.nodes_per_router < 1:
+            raise ValueError("nodes_per_router must be >= 1")
+        if self.num_groups is not None and not (
+                2 <= self.num_groups <= self.spines * self.h + 1):
+            raise ValueError(
+                f"num_groups must be in [2, {self.spines * self.h + 1}]"
+            )
+
+
+@register_topology(
+    "megafly",
+    MegaflyParams,
+    description="Megafly / Dragonfly+: two-level fat-tree groups, spine-owned "
+                "global links in a palmtree arrangement",
+    aliases=("dragonfly+", "dragonflyplus"),
+)
+def _build_megafly(params: MegaflyParams) -> Megafly:
+    return Megafly(
+        spines=params.spines,
+        leaves=params.leaves,
+        h=params.h,
+        p=params.nodes_per_router,
+        num_groups=params.num_groups,
+    )

@@ -35,10 +35,6 @@ def make_generator(
             num_nodes, load, config.packet_size, rng, config.burst_length
         )
     if config.pattern == "adversarial":
-        from ..topology.dragonfly import Dragonfly
-
-        if not isinstance(topology, Dragonfly):
-            raise ValueError("adversarial traffic requires a Dragonfly topology")
         return AdversarialTraffic(
             num_nodes, load, config.packet_size, rng, topology,
             config.adversarial_offset,

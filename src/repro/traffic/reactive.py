@@ -28,12 +28,16 @@ class TrafficManager:
         nodes_per_router: int,
         metrics: MetricsCollector,
         reactive: bool = False,
+        router_of_node: Optional[Callable[[int], int]] = None,
     ) -> None:
         self.generator = generator
         self.routers = list(routers)
         self.nodes_per_router = nodes_per_router
         self.metrics = metrics
         self.reactive = reactive
+        #: node -> source router mapping; None keeps the uniform division
+        #: (topologies with transit-only routers supply their own).
+        self.router_of_node = router_of_node
         #: hook invoked on every delivery, after metrics/replies are handled.
         self.delivery_hook: Optional[Callable[[Packet, int], None]] = None
         self.replies_generated = 0
@@ -55,7 +59,10 @@ class TrafficManager:
         return self.generator.quiescent()
 
     def _enqueue(self, packet: Packet, cycle: int) -> None:
-        router_index = packet.src_node // self.nodes_per_router
+        if self.router_of_node is not None:
+            router_index = self.router_of_node(packet.src_node)
+        else:
+            router_index = packet.src_node // self.nodes_per_router
         self.metrics.record_generation(packet, cycle)
         self.routers[router_index].enqueue_source(packet, cycle)
         if self.reactive and packet.msg_class == MessageClass.REQUEST:

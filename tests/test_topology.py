@@ -1,11 +1,17 @@
-"""Topology invariants for the Dragonfly and Flattened Butterfly constructions."""
+"""Topology invariants: per-construction checks for Dragonfly and Flattened
+Butterfly, plus registry-driven property tests that every registered topology
+(HyperX and Megafly included) must satisfy."""
 
 import pytest
 
-from repro.core.link_types import LinkType
+from repro.core.link_types import LinkType, hop_counts
+from repro.routing.route_table import RouteTable
 from repro.topology import (
+    TOPOLOGIES,
     Dragonfly,
     FlattenedButterfly2D,
+    HyperX,
+    Megafly,
     bfs_distances,
     degree_histogram,
     is_connected,
@@ -184,3 +190,214 @@ class TestFlattenedButterfly:
             FlattenedButterfly2D(k1=1, k2=2, p=1)
         with pytest.raises(ValueError):
             FlattenedButterfly2D(k1=3, k2=3, p=0)
+
+    def test_is_a_hyperx_alias(self):
+        fb = FlattenedButterfly2D(k1=4, k2=3, p=2)
+        assert isinstance(fb, HyperX)
+        assert fb.dims == (4, 3)
+
+
+# ---------------------------------------------------------------------------
+# Registry-driven property tests: every registered topology must satisfy these.
+# ---------------------------------------------------------------------------
+
+#: one representative instance per registered topology, built via the registry.
+REGISTRY_INSTANCES = {
+    "dragonfly": {"h": 2},
+    "flattened_butterfly": {"k1": 4, "k2": 3, "nodes_per_router": 2},
+    "hyperx": {"s": (4, 3, 3), "nodes_per_router": 2},
+    "megafly": {"spines": 2, "leaves": 2, "h": 2, "nodes_per_router": 2},
+}
+
+
+def test_every_registered_topology_has_an_instance():
+    # Force this table to grow with the registry.
+    assert set(REGISTRY_INSTANCES) == set(TOPOLOGIES.names())
+
+
+@pytest.fixture(params=sorted(REGISTRY_INSTANCES), name="topo")
+def topo_fixture(request):
+    return TOPOLOGIES.build(request.param, REGISTRY_INSTANCES[request.param])
+
+
+class TestRegisteredTopologyProperties:
+    def test_connected(self, topo):
+        assert is_connected(topo)
+
+    def test_link_symmetry(self, topo):
+        # Every link has a reverse link of the same type (verify_bidirectional)
+        # and the advertised ports are self-consistent.
+        assert verify_bidirectional(topo)
+        for router in range(topo.num_routers):
+            for info in topo.ports(router):
+                assert topo.neighbor(router, info.port) == info.neighbor
+                assert topo.link_type(router, info.port) == info.link_type
+                assert topo.port_to(router, info.neighbor) == info.port
+
+    def test_diameter_bound(self, topo):
+        assert measured_diameter(topo) <= topo.diameter
+
+    def test_minimal_routes_valid(self, topo):
+        """Each minimal route uses declared ports, reaches its destination,
+        and its traversed link types match the advertised hop sequence."""
+        max_local, max_global = topo.max_min_hop_counts()
+        for src in range(topo.num_routers):
+            for dst in range(topo.num_routers):
+                seq = topo.min_hop_sequence(src, dst)
+                current, traversed = src, []
+                while current != dst:
+                    port = topo.min_next_port(current, dst)
+                    assert port is not None
+                    declared = {info.port for info in topo.ports(current)}
+                    assert port in declared
+                    traversed.append(topo.link_type(current, port))
+                    current = topo.neighbor(current, port)
+                    assert len(traversed) <= topo.diameter
+                assert tuple(traversed) == seq
+                assert topo.min_next_port(src, src) is None
+                # Node-attached endpoints stay within the declared envelope.
+                if topo.nodes_of_router(src) and topo.nodes_of_router(dst):
+                    locals_, globals_ = hop_counts(seq)
+                    assert locals_ <= max_local and globals_ <= max_global
+
+    def test_canonical_sequence_is_achieved(self, topo):
+        """The declared worst case is tight: some node-router pair needs it."""
+        canonical = topo.canonical_minimal_sequence
+        counts = {
+            hop_counts(topo.min_hop_sequence(src, dst))
+            for src in range(topo.num_routers)
+            if topo.nodes_of_router(src)
+            for dst in range(topo.num_routers)
+            if topo.nodes_of_router(dst)
+        }
+        assert hop_counts(canonical) in counts
+
+    def test_route_table_matches_topology(self, topo):
+        table = RouteTable(topo)
+        for src in range(topo.num_routers):
+            for dst in range(topo.num_routers):
+                assert table.next_port(src, dst) == topo.min_next_port(src, dst)
+                seq = topo.min_hop_sequence(src, dst)
+                assert table.hop_sequence(src, dst) == seq
+                assert table.distance(src, dst) == len(seq)
+                link = table.first_global_link(src, dst)
+                if LinkType.GLOBAL not in seq:
+                    assert link is None
+                else:
+                    owner, gport = link
+                    # The owner really is the router taking the first global
+                    # hop of the walked path.
+                    current = src
+                    while topo.link_type(
+                            current, topo.min_next_port(current, dst)) != LinkType.GLOBAL:
+                        current = topo.neighbor(current, topo.min_next_port(current, dst))
+                    assert owner == current
+                    port = topo.min_next_port(current, dst)
+                    assert topo.global_port_index(current, port) == gport
+
+    def test_router_groups_partition(self, topo):
+        groups = topo.router_groups()
+        flat = [router for members in groups for router in members]
+        assert sorted(flat) == list(range(topo.num_routers))
+        for gid, members in enumerate(groups):
+            for position, router in enumerate(members):
+                assert topo.group_slot(router) == (gid, position)
+        # LOCAL links never leave a group; GLOBAL links never stay inside.
+        slot = {r: topo.group_slot(r)[0] for r in flat}
+        for router in flat:
+            for info in topo.ports(router):
+                same = slot[router] == slot[info.neighbor]
+                assert same == (info.link_type == LinkType.LOCAL)
+
+    def test_node_mapping_roundtrip(self, topo):
+        seen = []
+        for router in range(topo.num_routers):
+            for node in topo.nodes_of_router(router):
+                assert topo.router_of_node(node) == router
+                seen.append(node)
+        assert sorted(seen) == list(range(topo.num_nodes))
+
+
+class TestHyperX:
+    def test_matches_flattened_butterfly_exactly(self):
+        fb = FlattenedButterfly2D(k1=4, k2=3, p=2)
+        hx = HyperX(dims=(4, 3), p=2)
+        assert fb.num_routers == hx.num_routers
+        for router in range(hx.num_routers):
+            assert fb.ports(router) == hx.ports(router)
+            for dst in range(hx.num_routers):
+                assert fb.min_next_port(router, dst) == hx.min_next_port(router, dst)
+
+    def test_three_dimensions_hop_sequence(self):
+        hx = HyperX(dims=(3, 3, 3), p=1)
+        src = hx.router_at(0, 0, 0)
+        dst = hx.router_at(2, 2, 2)
+        assert hx.min_hop_sequence(src, dst) == (
+            LinkType.LOCAL, LinkType.GLOBAL, LinkType.GLOBAL
+        )
+        assert hx.canonical_minimal_sequence == (
+            LinkType.LOCAL, LinkType.GLOBAL, LinkType.GLOBAL
+        )
+        assert hx.max_min_hop_counts() == (1, 2)
+
+    def test_trunking_rejected(self):
+        from repro.topology import HyperXParams
+
+        with pytest.raises(ValueError):
+            HyperXParams(s=(4, 4), k=2).validate()
+
+    def test_scalar_s_with_l(self):
+        from repro.topology import HyperXParams
+
+        params = HyperXParams(s=3, l=3, nodes_per_router=1)
+        params.validate()
+        assert params.dims() == (3, 3, 3)
+
+
+class TestMegafly:
+    def test_spines_have_no_nodes(self):
+        mf = Megafly(spines=2, leaves=2, h=2, p=2)
+        for router in range(mf.num_routers):
+            nodes = list(mf.nodes_of_router(router))
+            if mf.is_spine(router):
+                assert nodes == []
+            else:
+                assert len(nodes) == 2
+        assert mf.num_nodes == mf.num_groups * mf.leaves * mf.p
+
+    def test_leaf_to_leaf_paths_within_lgl(self):
+        mf = Megafly(spines=2, leaves=2, h=2, p=2)
+        for src in mf.valiant_routers():
+            for dst in mf.valiant_routers():
+                seq = mf.min_hop_sequence(src, dst)
+                locals_, globals_ = hop_counts(seq)
+                assert locals_ <= 2 and globals_ <= 1
+
+    def test_valiant_pool_is_leaves(self):
+        mf = Megafly(spines=2, leaves=2, h=2, p=2)
+        pool = mf.valiant_routers()
+        assert all(not mf.is_spine(router) for router in pool)
+        assert len(pool) == mf.num_groups * mf.leaves
+
+    def test_one_global_link_per_group_pair(self):
+        mf = Megafly(spines=2, leaves=2, h=2, p=1)
+        seen = set()
+        for router in range(mf.num_routers):
+            for info in mf.ports(router):
+                if info.link_type != LinkType.GLOBAL:
+                    continue
+                pair = tuple(sorted((mf.group_of(router), mf.group_of(info.neighbor))))
+                seen.add(pair)
+        groups = mf.num_groups
+        assert len(seen) == groups * (groups - 1) // 2
+
+    def test_worst_escape_longer_than_canonical(self):
+        mf = Megafly(spines=2, leaves=2, h=2, p=1)
+        assert len(mf.worst_escape_sequence) == len(mf.canonical_minimal_sequence) + 1
+        # A non-gateway spine really needs the extra local hop.
+        worst = max(
+            (hop_counts(mf.min_hop_sequence(spine, leaf)))
+            for spine in range(mf.num_routers) if mf.is_spine(spine)
+            for leaf in mf.valiant_routers()
+        )
+        assert worst == hop_counts(mf.worst_escape_sequence)

@@ -63,12 +63,25 @@ class TestAdversarialTraffic:
                 dst_group = topo.group_of(topo.router_of_node(dst))
                 assert dst_group == (src_group + 1) % topo.num_groups
 
-    def test_requires_dragonfly(self):
+    def test_generic_groups_flattened_butterfly_rows(self):
+        # ADV is no longer Dragonfly-specific: groups are the topology's
+        # LOCAL-connected router sets (dimension-0 rows for a 2D FB).
         from repro.topology import FlattenedButterfly2D
 
         fb = FlattenedButterfly2D(4, 4, 2)
-        with pytest.raises(TypeError):
-            AdversarialTraffic(fb.num_nodes, 0.5, 8, random.Random(0), fb)
+        gen = AdversarialTraffic(fb.num_nodes, 0.5, 8, random.Random(0), fb, offset=1)
+        for node in range(fb.num_nodes):
+            dst = gen.destination_for(node, 0)
+            _, src_y = fb.coords(fb.router_of_node(node))
+            _, dst_y = fb.coords(fb.router_of_node(dst))
+            assert dst_y == (src_y + 1) % fb.k2
+
+    def test_requires_multiple_groups(self):
+        from repro.topology import FlattenedButterfly2D
+
+        single_row = FlattenedButterfly2D(5, 1, 2)
+        with pytest.raises(ValueError):
+            AdversarialTraffic(single_row.num_nodes, 0.5, 8, random.Random(0), single_row)
 
     def test_offset_validation(self):
         topo = Dragonfly(h=2)
