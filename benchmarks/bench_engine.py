@@ -22,7 +22,16 @@ code; ``speedup_*`` are current/seed ratios.  ``pr1_baseline`` records the
 PR 1 engine (dict-memoized minimal routes, commit 67d610b) re-measured on
 the current machine immediately before the precomputed-route-table change,
 so ``speedup_*_vs_pr1`` isolates what the dense tables buy (they must stay
->= ~1.0: the tables may not regress the hot path).
+>= ~1.0: the tables may not regress the hot path).  ``pr2_baseline`` records
+the PR 2 code (commit 44945c7) re-measured interleaved with the session/probe
+redesign; ``ratio_*_vs_pr2`` guards the no-probe hot path (must stay within
+5% of 1.0 — probe dispatch is a single ``is not None`` check per site and
+only when subscribed).
+
+The ``probes`` section compares the same tiny run probes-off (plain
+``Simulation.run()``, which is now a Session shim) against probes-on
+(``Session`` with a TimeSeriesProbe and a LinkUtilizationProbe attached):
+``probe_overhead_pct`` is what attaching live telemetry costs.
 """
 
 from __future__ import annotations
@@ -40,6 +49,8 @@ except ImportError:  # pragma: no cover
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.runner import TINY, base_config
+from repro.probes import LinkUtilizationProbe, TimeSeriesProbe
+from repro.session import Session
 from repro.simulation import Simulation
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -61,6 +72,30 @@ PR1_BASELINE = {
     "tiny_run_cps": 4346,
     "idle_fast_forward_cps": 235865748,
 }
+
+#: cycles/sec of the PR 2 code (route tables, pre-session API, commit
+#: 44945c7) measured interleaved with the session/probe redesign on the same
+#: machine (best of 12 alternating rounds; idle fast-forward is too noisy in
+#: the shared container to A/B meaningfully and is guarded by its absolute
+#: magnitude instead).
+PR2_BASELINE = {
+    "uniform_load02_cps": 7401,
+    "tiny_run_cps": 6725,
+}
+
+
+def _best_probed_cps(config, cycles: int, repeats: int = 5) -> float:
+    """Best-of-N cycles/sec of a Session run with live telemetry attached."""
+    best = float("inf")
+    for _ in range(repeats):
+        session = Session(
+            config, probes=[TimeSeriesProbe(100), LinkUtilizationProbe()]
+        )
+        start = time.perf_counter()
+        session.warmup()
+        session.measure()
+        best = min(best, time.perf_counter() - start)
+    return cycles / best
 
 
 def _best_cps(config, cycles: int, repeats: int = 5) -> tuple[float, Simulation]:
@@ -84,6 +119,7 @@ def run_benchmark() -> dict:
     tiny = base_config(TINY, pattern="uniform", seed=7).with_load(0.2)
     tiny_cps, tiny_sim = _best_cps(tiny, tiny.total_cycles())
     fingerprint = dataclasses.asdict(Simulation(tiny).run())
+    probed_cps = _best_probed_cps(tiny, tiny.total_cycles())
 
     idle = dataclasses.replace(
         base_config(TINY, pattern="uniform", seed=7).with_load(0.0),
@@ -111,6 +147,17 @@ def run_benchmark() -> dict:
         "speedup_tiny_run_vs_pr1": round(
             tiny_cps / PR1_BASELINE["tiny_run_cps"], 2
         ),
+        "pr2_baseline": PR2_BASELINE,
+        "ratio_uniform_load02_vs_pr2": round(
+            steady_cps / PR2_BASELINE["uniform_load02_cps"], 2
+        ),
+        "ratio_tiny_run_vs_pr2": round(tiny_cps / PR2_BASELINE["tiny_run_cps"], 2),
+        "probes": {
+            "probes_off_tiny_cps": round(tiny_cps),
+            "probes_on_tiny_cps": round(probed_cps),
+            "probe_set": ["TimeSeriesProbe(100)", "LinkUtilizationProbe"],
+            "probe_overhead_pct": round((tiny_cps / probed_cps - 1) * 100, 1),
+        },
         "tiny_result_fingerprint": fingerprint,
     }
     return report
@@ -122,8 +169,12 @@ def main() -> None:
     for key in ("uniform_load02_cps", "tiny_run_cps", "idle_fast_forward_cps",
                 "speedup_uniform_load02", "speedup_tiny_run",
                 "speedup_idle_fast_forward",
-                "speedup_uniform_load02_vs_pr1", "speedup_tiny_run_vs_pr1"):
+                "speedup_uniform_load02_vs_pr1", "speedup_tiny_run_vs_pr1",
+                "ratio_uniform_load02_vs_pr2", "ratio_tiny_run_vs_pr2"):
         print(f"{key}: {report[key]}")
+    probes = report["probes"]
+    print(f"probes_on_tiny_cps: {probes['probes_on_tiny_cps']} "
+          f"(overhead {probes['probe_overhead_pct']}%)")
     print(f"wrote {OUTPUT}")
 
 

@@ -7,6 +7,10 @@ resources a Valiant-capable router already provisions) — and prints the
 accepted throughput and latency of each, mirroring the headline comparison of
 Figure 5a of the paper.
 
+Runs are driven through the phased Session API (warm-up, then one
+steady-state measurement window); ``session.record()`` shows the versioned
+RunRecord provenance that the experiment store persists.
+
 Run:  python examples/quickstart.py [--load 1.0] [--cycles 2500]
 """
 
@@ -19,9 +23,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import (  # noqa: E402
     RoutingConfig,
+    Session,
     SimulationConfig,
     VcArrangement,
-    run_simulation,
 )
 
 
@@ -53,15 +57,25 @@ def main() -> None:
     print("Scaled Dragonfly (h=2: 9 groups, 36 routers, 72 nodes), "
           f"uniform traffic, offered load {args.load:.2f}\n")
     baseline_throughput = None
+    record = None
     for label, config in configs.items():
-        result = run_simulation(config)
+        session = Session(config)
+        session.warmup()
+        result = session.measure()
+        record = session.record()
         if baseline_throughput is None:
             baseline_throughput = result.accepted_load
         gain = result.accepted_load / baseline_throughput
         print(f"{label:44s} accepted={result.accepted_load:.3f} phits/node/cycle  "
               f"latency={result.average_latency:6.1f} cycles  (x{gain:.2f} vs baseline)")
 
-    print("\nThe paper reports +12% for FlexVC at equal VCs and +23% when the "
+    assert record is not None
+    provenance = record.provenance
+    print(f"\nEach line is one RunRecord (schema v{record.schema_version}): "
+          f"last run covered {provenance['engine_cycles']} engine cycles in "
+          f"{provenance['wall_time_s']:.2f}s wall "
+          f"(config {provenance['config_key'][:12]}...).")
+    print("The paper reports +12% for FlexVC at equal VCs and +23% when the "
           "4/2 VC set is exploited (Figure 5a / Section V-A); expect the same "
           "ordering here, with absolute values shifted by the scaled network.")
 

@@ -25,6 +25,14 @@ Quickstart::
                    arrangement=VcArrangement.single_class(4, 2))
     print(run_simulation(config))
     print(run_simulation(flex))
+
+Phased execution with live telemetry (see ``DESIGN.md`` §5)::
+
+    from repro import Session, TimeSeriesProbe
+
+    session = Session(config, probes=[TimeSeriesProbe(100)])
+    session.warmup(); session.measure(); session.drain()
+    record = session.record()          # RunRecord v2: summary + channels
 """
 
 from .config import (
@@ -53,9 +61,21 @@ from .core import (
     table3,
     table4,
 )
-from .metrics import MetricsCollector, SimulationResult
+from .metrics import LatencyHistogram, MetricsCollector, SimulationResult
 from .packet import Packet, RouteKind
+from .probes import (
+    PROBES,
+    AllocStallProbe,
+    LatencyHistogramProbe,
+    LinkUtilizationProbe,
+    Probe,
+    TimeSeriesProbe,
+    VcOccupancyProbe,
+    make_probes,
+)
+from .record import RunRecord
 from .routing import RouteTable
+from .session import Session
 from .simulation import (
     Simulation,
     average_results,
@@ -108,8 +128,20 @@ __all__ = [
     "build_topology",
     "SimulationResult",
     "MetricsCollector",
+    "LatencyHistogram",
     "Packet",
     "RouteKind",
+    # sessions, probes, records
+    "Session",
+    "Probe",
+    "TimeSeriesProbe",
+    "LinkUtilizationProbe",
+    "VcOccupancyProbe",
+    "LatencyHistogramProbe",
+    "AllocStallProbe",
+    "PROBES",
+    "make_probes",
+    "RunRecord",
     # topologies
     "Dragonfly",
     "FlattenedButterfly2D",

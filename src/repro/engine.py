@@ -176,6 +176,14 @@ class Engine:
                 callback(self.now)
 
     # -- introspection --------------------------------------------------------------------
+    def next_event_cycle(self) -> Optional[int]:
+        """Public view of the next scheduled event/wake cycle (None if empty).
+
+        Sessions use this to fast-forward drain phases event by event instead
+        of polling idle cycles.
+        """
+        return self._next_event_cycle()
+
     def pending_events(self) -> int:
         return sum(len(events) for events in self._wheel.values())
 

@@ -7,11 +7,16 @@ at any scale, with parallel workers and a persistent result cache::
     python -m repro.experiments run fig5 --scale tiny --workers 4
     python -m repro.experiments run fig6 fig9 --scale small --workers 8
     python -m repro.experiments run fig5 --force          # recompute, ignore cache
+    python -m repro.experiments run fig5 --probes timeseries,linkutil
+    python -m repro.experiments inspect results/store.json --series MIN --load 0.5
 
 Results are persisted to a JSON store keyed by a content hash of each
 point's complete :class:`~repro.config.SimulationConfig` (default
 ``results/store.json``), so re-running a figure serves every already-computed
-point from cache — interrupted sweeps resume instead of recomputing.
+point from cache — interrupted sweeps resume instead of recomputing.  Stored
+entries are versioned :class:`~repro.record.RunRecord` payloads; ``--probes``
+attaches registry probes to every executed point so telemetry channels are
+persisted alongside the summaries, and ``inspect`` pretty-prints them.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Sequence
 
+from ..probes import PROBES, make_probes
 from . import figures, tables, topologies
 from .formatting import render_bar_table, render_series_table
 from .orchestrator import ResultStore, orchestration
@@ -138,15 +144,27 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_probes(spec: str | None) -> tuple:
+    if not spec:
+        return ()
+    names = tuple(name.strip() for name in spec.split(",") if name.strip())
+    try:
+        make_probes(names)  # single source of truth for name validation
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return names
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     unknown = [name for name in args.figures if name not in REGISTRY]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"expected one of {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
+    probes = _parse_probes(args.probes)
     store = ResultStore(args.store, refresh=args.force)
     status = 0
-    with orchestration(workers=args.workers, store=store):
+    with orchestration(workers=args.workers, store=store, probes=probes):
         for name in args.figures:
             entry = REGISTRY[name]
             scale = args.scale if args.scale is not None else entry.default_scale
@@ -171,6 +189,79 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
     store.flush()
     return status
+
+
+def _channel_digest(name: str, payload: dict) -> str:
+    data = payload.get("data")
+    if isinstance(data, list):
+        size = f"{len(data)} samples"
+    elif isinstance(data, dict):
+        size = f"{len(data)} entries"
+    else:  # pragma: no cover - future channel shapes
+        size = type(data).__name__
+    return f"{name} ({size})"
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if len(store) == 0:
+        print(f"no records in {args.store} (missing, empty, or unreadable)",
+              file=sys.stderr)
+        return 1
+    if store.migrated:
+        print(f"[migrated {store.migrated} v1 entr{'y' if store.migrated == 1 else 'ies'} "
+              "to RunRecord v2 in memory]")
+    shown = 0
+    for key, record, meta in sorted(store.entries(), key=lambda e: (
+            str(e[2].get("series", "")), e[2].get("load", 0.0), e[2].get("seed", 0))):
+        if args.series is not None and meta.get("series") != args.series:
+            continue
+        if args.load is not None and meta.get("load") != args.load:
+            continue
+        shown += 1
+        series = meta.get("series", "?")
+        load = meta.get("load", "?")
+        seed = meta.get("seed", "?")
+        print(f"{key}  series={series} load={load} seed={seed}")
+        print(f"  summary:    {record.summary}")
+        provenance = record.provenance
+        if provenance:
+            cycles = provenance.get("engine_cycles")
+            wall = provenance.get("wall_time_s")
+            parts = [f"schema v{record.schema_version}"]
+            if provenance.get("migrated_from"):
+                parts.append(f"migrated from v{provenance['migrated_from']}")
+            if cycles is not None:
+                parts.append(f"{cycles} cycles")
+            if wall is not None:
+                parts.append(f"{wall}s wall")
+            print(f"  provenance: {', '.join(parts)}")
+        if record.channels:
+            digests = ", ".join(
+                _channel_digest(name, record.channels[name])
+                for name in record.channel_names()
+            )
+            print(f"  channels:   {digests}")
+            if args.verbose:
+                for name in record.channel_names():
+                    payload = record.channels[name]
+                    print(f"    [{name}] meta={payload.get('meta', {})}")
+                    data = payload.get("data")
+                    if isinstance(data, list):
+                        for row in data[: args.limit]:
+                            print(f"      {row}")
+                        if len(data) > args.limit:
+                            print(f"      ... {len(data) - args.limit} more rows")
+                    elif isinstance(data, dict):
+                        for i, (entry_key, value) in enumerate(sorted(data.items())):
+                            if i >= args.limit:
+                                print(f"      ... {len(data) - args.limit} more entries")
+                                break
+                            print(f"      {entry_key}: {value}")
+        print()
+    total = len(store)
+    print(f"{shown} of {total} record(s) shown from {args.store}")
+    return 0 if shown else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,7 +290,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help=f"JSON result store path (default: {DEFAULT_STORE})")
     run.add_argument("--force", action="store_true",
                      help="ignore cached results (still persists fresh ones)")
+    run.add_argument("--probes", default=None, metavar="P1,P2",
+                     help="attach registry probes to every executed point and "
+                          "persist their telemetry channels alongside the "
+                          f"summaries (choices: {', '.join(sorted(PROBES))}; "
+                          "cached points stay channel-free unless --force)")
     run.set_defaults(func=cmd_run)
+
+    inspect = sub.add_parser(
+        "inspect", help="pretty-print stored RunRecords from a result store")
+    inspect.add_argument("store", help="path to a store JSON file (v1 stores "
+                                       "are migrated in memory)")
+    inspect.add_argument("--series", default=None,
+                         help="only records whose meta series label matches")
+    inspect.add_argument("--load", type=float, default=None,
+                         help="only records at this offered load")
+    inspect.add_argument("--verbose", action="store_true",
+                         help="dump channel metadata and data rows")
+    inspect.add_argument("--limit", type=int, default=10,
+                         help="max rows/entries per channel with --verbose "
+                              "(default: 10)")
+    inspect.set_defaults(func=cmd_inspect)
     return parser
 
 

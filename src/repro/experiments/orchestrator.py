@@ -29,16 +29,20 @@ import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..config import SimulationConfig
 from ..metrics import SimulationResult
+from ..record import RunRecord
 
 ConfigBuilder = Callable[[], SimulationConfig]
 
 #: store format version; bump when the result schema changes.
-STORE_VERSION = 1
+#: v1 stored flat ``SimulationResult`` dicts; v2 stores versioned
+#: :class:`~repro.record.RunRecord` payloads (summary + telemetry channels +
+#: provenance).  v1 files are migrated in memory on open — no re-simulation.
+STORE_VERSION = 2
 
 #: minimum seconds between mid-sweep store flushes (resumability vs I/O).
 FLUSH_INTERVAL_SECONDS = 5.0
@@ -64,13 +68,20 @@ def config_key(config: SimulationConfig) -> str:
 
 @dataclass(frozen=True)
 class Job:
-    """One independent simulation run (a single series/load/seed point)."""
+    """One independent simulation run (a single series/load/seed point).
+
+    ``probes`` names registry probes (:data:`repro.probes.PROBES`) attached
+    to the run; they add telemetry channels to the persisted RunRecord but
+    never change the summary (probed runs are summary-identical by the
+    zero-cost dispatch design), so the cache key deliberately ignores them.
+    """
 
     key: str
     series: str
     load: float
     seed: int
     config: SimulationConfig
+    probes: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -85,6 +96,8 @@ class SweepSpec:
     loads: Sequence[float]
     seeds: int = 1
     name: str = "sweep"
+    #: probe registry names attached to every expanded job.
+    probes: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         labels = [label for label, _ in self.series]
@@ -109,6 +122,7 @@ class SweepSpec:
                             load=load,
                             seed=config.seed,
                             config=config,
+                            probes=tuple(self.probes),
                         )
                     )
         return jobs
@@ -119,11 +133,17 @@ class SweepSpec:
 # ---------------------------------------------------------------------------
 
 class ResultStore:
-    """JSON store of simulation results keyed by config hash.
+    """JSON store of run records keyed by config hash.
 
     The whole store is one file, rewritten atomically (tmp + rename) on
     flush.  ``refresh=True`` turns reads into misses while still persisting
     new results — the CLI's ``--force``.
+
+    Entries are versioned :class:`~repro.record.RunRecord` payloads (store
+    format v2).  Opening a v1 file — flat ``SimulationResult`` dicts as
+    written by earlier code — migrates every entry in memory (marking the
+    store dirty so the next flush persists v2) without re-running a single
+    simulation.
     """
 
     def __init__(self, path: str, refresh: bool = False) -> None:
@@ -132,8 +152,11 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        #: config hash -> {"record": <RunRecord dict>, "meta": {...}}.
         self._results: Dict[str, dict] = {}
         self._dirty = False
+        #: number of v1 entries migrated at open time (diagnostics).
+        self.migrated = 0
         if os.path.exists(self.path):
             try:
                 with open(self.path, "r", encoding="utf-8") as handle:
@@ -142,13 +165,37 @@ class ResultStore:
                 # A damaged cache is no cache: start fresh rather than crash
                 # (results are recomputable by definition).
                 payload = {}
-            if isinstance(payload, dict) and payload.get("version") == STORE_VERSION:
-                self._results = payload.get("results", {})
+            if isinstance(payload, dict):
+                version = payload.get("version")
+                if version == STORE_VERSION:
+                    self._results = payload.get("results", {})
+                elif version == 1:
+                    self._migrate_v1(payload.get("results", {}))
+
+    def _migrate_v1(self, entries: Dict[str, dict]) -> None:
+        """Wrap v1 ``{"result": ..., "meta": ...}`` entries into v2 records."""
+        for key, entry in entries.items():
+            try:
+                record = RunRecord.migrate_v1(entry["result"], meta=entry.get("meta"))
+            except (KeyError, TypeError):  # pragma: no cover - damaged entry
+                continue
+            self._results[key] = {
+                "record": record.to_dict(), "meta": entry.get("meta", {})
+            }
+            self.migrated += 1
+        if self.migrated:
+            self._dirty = True  # persist the upgraded format on next flush
 
     def __len__(self) -> int:
         return len(self._results)
 
     def get(self, key: str) -> Optional[SimulationResult]:
+        """Stored summary for ``key`` (None on miss) — compatibility view."""
+        record = self.get_record(key)
+        return None if record is None else record.summary
+
+    def get_record(self, key: str) -> Optional[RunRecord]:
+        """Full stored record (summary + telemetry channels + provenance)."""
         if self.refresh:
             return None
         entry = self._results.get(key)
@@ -156,10 +203,21 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
-        return SimulationResult.from_dict(entry["result"])
+        return RunRecord.from_dict(entry["record"])
+
+    def entries(self) -> Iterator[Tuple[str, RunRecord, dict]]:
+        """Iterate ``(key, record, meta)`` without touching hit/miss counters."""
+        for key, entry in self._results.items():
+            yield key, RunRecord.from_dict(entry["record"]), entry.get("meta", {})
 
     def put(self, key: str, result: SimulationResult, meta: Optional[dict] = None) -> None:
-        self._results[key] = {"result": result.to_dict(), "meta": meta or {}}
+        """Store a bare summary (wrapped into a channel-less record)."""
+        self.put_record(key, RunRecord.from_summary(result), meta=meta)
+
+    def put_record(
+        self, key: str, record: RunRecord, meta: Optional[dict] = None
+    ) -> None:
+        self._results[key] = {"record": record.to_dict(), "meta": meta or {}}
         self.writes += 1
         self._dirty = True
 
@@ -184,20 +242,30 @@ class ResultStore:
 # Execution backends
 # ---------------------------------------------------------------------------
 
-def _execute_job(job: Job) -> Tuple[str, SimulationResult]:
-    """Top-level worker function (must be picklable for the process pool)."""
-    from ..simulation import Simulation
+def _execute_job(job: Job) -> Tuple[str, RunRecord]:
+    """Top-level worker function (must be picklable for the process pool).
 
-    return job.key, Simulation(job.config).run()
+    Runs the job through the phased Session API so probe names on the job
+    yield telemetry channels in the returned :class:`RunRecord`; without
+    probes the session is wiring-free and bit-identical to the legacy
+    one-shot runner.
+    """
+    from ..probes import make_probes
+    from ..session import Session
+
+    session = Session(job.config, probes=make_probes(job.probes))
+    session.warmup()
+    session.measure()
+    return job.key, session.record()
 
 
 class SerialBackend:
     """Run jobs one after another in this process."""
 
-    def run(self, jobs: Sequence[Job], on_result: Callable[[Job, SimulationResult], None]) -> None:
+    def run(self, jobs: Sequence[Job], on_result: Callable[[Job, RunRecord], None]) -> None:
         for job in jobs:
-            _, result = _execute_job(job)
-            on_result(job, result)
+            _, record = _execute_job(job)
+            on_result(job, record)
 
 
 class ProcessPoolBackend:
@@ -213,7 +281,7 @@ class ProcessPoolBackend:
             raise ValueError("workers must be >= 1")
         self.workers = workers
 
-    def run(self, jobs: Sequence[Job], on_result: Callable[[Job, SimulationResult], None]) -> None:
+    def run(self, jobs: Sequence[Job], on_result: Callable[[Job, RunRecord], None]) -> None:
         try:
             executor = ProcessPoolExecutor(max_workers=self.workers)
         except OSError:  # pragma: no cover - environment-dependent
@@ -225,8 +293,8 @@ class ProcessPoolBackend:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     job = pending.pop(future)
-                    _, result = future.result()
-                    on_result(job, result)
+                    _, record = future.result()
+                    on_result(job, record)
         finally:
             executor.shutdown()
 
@@ -246,6 +314,8 @@ class OrchestrationContext:
 
     workers: int = 1
     store: Optional[ResultStore] = None
+    #: probe registry names attached to every executed (non-cached) job.
+    probes: Tuple[str, ...] = ()
 
 
 _CONTEXT_STACK: List[OrchestrationContext] = [OrchestrationContext()]
@@ -259,15 +329,20 @@ def current_context() -> OrchestrationContext:
 def orchestration(
     workers: int = 1,
     store: Optional[ResultStore | str] = None,
+    probes: Sequence[str] = (),
 ) -> Iterator[OrchestrationContext]:
     """Install parallel/caching defaults for every sweep run inside the block.
 
     ``store`` may be a :class:`ResultStore` or a path (a store is opened and
-    flushed on exit).
+    flushed on exit).  ``probes`` names registry probes attached to every job
+    executed inside the block (cached points are still served from the store
+    without telemetry — use ``refresh``/``--force`` to re-run them probed).
     """
     if isinstance(store, str):
         store = ResultStore(store)
-    context = OrchestrationContext(workers=max(1, int(workers)), store=store)
+    context = OrchestrationContext(
+        workers=max(1, int(workers)), store=store, probes=tuple(probes)
+    )
     _CONTEXT_STACK.append(context)
     try:
         yield context
@@ -347,17 +422,19 @@ def run_jobs(
             results[job.key] = cached
             cache_hits += 1
         else:
+            if not job.probes and context.probes:
+                job = replace(job, probes=context.probes)
             pending.append(job)
 
     last_flush = time.monotonic()
 
-    def on_result(job: Job, result: SimulationResult) -> None:
+    def on_result(job: Job, record: RunRecord) -> None:
         nonlocal last_flush
-        results[job.key] = result
+        results[job.key] = record.summary
         if store is not None:
-            store.put(
+            store.put_record(
                 job.key,
-                result,
+                record,
                 meta={"series": job.series, "load": job.load, "seed": job.seed},
             )
             # Periodic flush keeps interrupted sweeps resumable without
@@ -367,7 +444,7 @@ def run_jobs(
                 store.flush()
                 last_flush = now
         if progress is not None:
-            progress(job, result)
+            progress(job, record.summary)
 
     make_backend(workers).run(pending, on_result)
     if store is not None:

@@ -46,6 +46,9 @@ class Link:
         self.busy_until = 0
         #: accounting for link-utilization statistics.
         self.phits_transmitted = 0
+        #: probe dispatch ``hook(link, packet, vc, now)``; None (the default)
+        #: keeps the no-probe transmit path free of any dispatch work.
+        self.probe_hook = None
 
     def idle_at(self, now: int) -> bool:
         """Can a new packet start serializing onto the link at ``now``?"""
@@ -64,6 +67,8 @@ class Link:
         tail_out = now + packet.size_phits
         self.busy_until = tail_out
         self.phits_transmitted += packet.size_phits
+        if self.probe_hook is not None:
+            self.probe_hook(self, packet, vc, now)
         arrival = tail_out + self.latency
         self.engine.schedule(arrival, lambda t, p=packet, v=vc: self._deliver(p, v, t))
         return tail_out

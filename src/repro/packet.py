@@ -71,8 +71,10 @@ class Packet:
     # -- bookkeeping ---------------------------------------------------------------
     injected_at: int = -1
     delivered_at: int = -1
-    #: whether this packet counts toward steady-state statistics.
-    measured: bool = True
+    #: measurement epoch this packet counts toward (0 = outside every window;
+    #: the default of 1 equals the first window's epoch, so hand-built
+    #: packets behave like the legacy boolean ``measured=True`` stamp).
+    measured: int = 1
     #: id of the request packet that triggered this reply (reactive traffic).
     in_reply_to: Optional[int] = None
 

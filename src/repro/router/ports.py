@@ -56,6 +56,9 @@ class InputPort:
         #: allocator skips the whole port while ``min_ready`` is in the future
         #: (only meaningful while ``resident_packets > 0``).
         self.min_ready = 0
+        #: probe dispatch ``hook(vc, delta_phits, occupancy, now)``; None (the
+        #: default) keeps the no-probe receive/pop paths dispatch-free.
+        self.on_occupancy = None
 
     # -- arrival --------------------------------------------------------------
     def receive(self, packet: Packet, vc: int, now: int) -> None:
@@ -68,6 +71,8 @@ class InputPort:
         self.resident_packets += 1
         if self.resident_packets == 1 or ready < self.min_ready:
             self.min_ready = ready
+        if self.on_occupancy is not None:
+            self.on_occupancy(vc, packet.size_phits, self.buffer.occupancy(vc), now)
 
     # -- head access -------------------------------------------------------------
     def head(self, vc: int, now: int) -> Optional[Packet]:
@@ -93,6 +98,8 @@ class InputPort:
             self.min_ready = min_ready
         if self.credit_channel is not None:
             self.credit_channel.send_credit(vc, packet.size_phits, minimal, now)
+        if self.on_occupancy is not None:
+            self.on_occupancy(vc, -packet.size_phits, self.buffer.occupancy(vc), now)
         return packet
 
     def has_head_ready_in(self, after: int, now: int) -> bool:

@@ -187,6 +187,13 @@ class Router:
         self.packets_delivered = 0
         self.misrouted_packets = 0
 
+        # -- probe dispatch (None = unsubscribed, zero-cost) ---------------------------
+        #: ``hook(packet, now)`` fired on a packet's first non-minimal hop.
+        self.on_misroute: Optional[Callable[[Packet, int], None]] = None
+        #: ``hook(router_id, now, retry_cycle)`` fired when a stepped router
+        #: with resident packets produces no allocation request.
+        self.on_stall: Optional[Callable[[int, int, int], None]] = None
+
     # ------------------------------------------------------------------
     # External interface (wiring and traffic)
     # ------------------------------------------------------------------
@@ -460,19 +467,22 @@ class Router:
                         requests.append(request)
                         break
             if not requests:
-                if iteration == 0 and self.saturation_board is None:
-                    # Nothing was requestable: record the earliest cycle a
-                    # deterministic blocker (crossbar, ejection port, grant
-                    # cap) expires so has_work() can sleep until then; async
-                    # blockers (credits) re-activate the router via wake().
-                    # Piggyback routers are exempt: they are stepped every
-                    # cycle regardless (saturation sensing), and their
-                    # injection decisions read time-varying congestion state,
-                    # so skipping allocation passes would change results.
+                if iteration == 0:
                     if reject_until < retry:
                         retry = reject_until
-                    self._alloc_sleep_until = retry
-                    self._alloc_blocked_at = now
+                    if self.on_stall is not None:
+                        self.on_stall(router_id, now, retry)
+                    if self.saturation_board is None:
+                        # Nothing was requestable: record the earliest cycle a
+                        # deterministic blocker (crossbar, ejection port, grant
+                        # cap) expires so has_work() can sleep until then; async
+                        # blockers (credits) re-activate the router via wake().
+                        # Piggyback routers are exempt: they are stepped every
+                        # cycle regardless (saturation sensing), and their
+                        # injection decisions read time-varying congestion state,
+                        # so skipping allocation passes would change results.
+                        self._alloc_sleep_until = retry
+                        self._alloc_blocked_at = now
                 break
             for grant in self.allocator.arbitrate(requests):
                 self._execute_grant(grant, now)
@@ -534,6 +544,8 @@ class Router:
         op.schedule_release(tail_out, packet.size_phits)
         if not packet.is_minimal and packet.hops == 1:
             self.misrouted_packets += 1
+            if self.on_misroute is not None:
+                self.on_misroute(packet, now)
 
     def _eject(self, port: InputPort, grant: Request, now: int) -> None:
         packet = grant.packet

@@ -1,9 +1,11 @@
 """Simulation façade: build a network from a configuration and run it.
 
-``Simulation(config).run()`` wires everything together — topology, routers,
-links, credit channels, saturation boards, traffic and metrics — runs the
-warm-up and measurement phases, and returns a
-:class:`~repro.metrics.SimulationResult`.
+``Simulation(config)`` wires everything together — topology, routers, links,
+credit channels, saturation boards, traffic and metrics.  Execution lives in
+the phased :class:`~repro.session.Session` API (warmup / measure / drain,
+probes, RunRecords); ``Simulation.run()`` and :func:`run_simulation` remain
+as one-shot compatibility shims returning the flat
+:class:`~repro.metrics.SimulationResult` summary.
 """
 
 from __future__ import annotations
@@ -182,16 +184,19 @@ class Simulation:
     # Execution
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Run warm-up plus measurement and return the steady-state summary."""
-        config = self.config
-        warmup = config.warmup_cycles
-        measure = config.measure_cycles
-        self.metrics.open_window(warmup, warmup + measure)
-        self.engine.run_until(warmup + measure)
-        deadlock = self._deadlock_suspected()
-        return self.metrics.result(
-            offered_load=config.traffic.load, deadlock_suspected=deadlock
-        )
+        """Run warm-up plus one measurement window (compatibility shim).
+
+        Thin wrapper over the phased :class:`~repro.session.Session` API —
+        ``warmup()`` followed by a single ``measure()`` — and bit-identical
+        to the pre-session one-shot runner.  Use a session directly for
+        probes, multiple measurement windows, drain phases or resumable
+        stepping.
+        """
+        from .session import Session
+
+        session = Session(simulation=self)
+        session.warmup()
+        return session.measure()
 
     def _deadlock_suspected(self) -> bool:
         """No delivery for a long stretch while packets remain in flight (O(1))."""
@@ -231,6 +236,28 @@ def run_seeds(
     return run_seed_jobs(config, seeds, workers=workers)
 
 
+def _average_extras(results: List[SimulationResult]) -> dict:
+    """Seed-average the ``extra`` dicts instead of silently dropping them.
+
+    Keys are the union across seeds; values that are numeric (and non-bool)
+    in every seed carrying the key are averaged, anything else keeps the
+    first seen value.
+    """
+    merged: dict = {}
+    for result in results:
+        for key, value in result.extra.items():
+            merged.setdefault(key, []).append(value)
+    averaged: dict = {}
+    for key, values in merged.items():
+        if all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+        ):
+            averaged[key] = sum(values) / len(values)
+        else:
+            averaged[key] = values[0]
+    return averaged
+
+
 def average_results(results: List[SimulationResult]) -> SimulationResult:
     """Average accepted load and latency across seeds (other fields from the first)."""
     if not results:
@@ -249,4 +276,5 @@ def average_results(results: List[SimulationResult]) -> SimulationResult:
         num_nodes=base.num_nodes,
         misrouted_fraction=sum(r.misrouted_fraction for r in results) / n,
         deadlock_suspected=any(r.deadlock_suspected for r in results),
+        extra=_average_extras(results),
     )

@@ -43,12 +43,21 @@ class TrafficManager:
         self.replies_generated = 0
         #: outstanding requests by packet id (reactive mode diagnostics).
         self._outstanding: Dict[int, Packet] = {}
+        #: set by Session.drain(): no new requests (replies still flow so
+        #: in-flight request-reply exchanges can complete).
+        self._stopped = False
 
     # -- generation -------------------------------------------------------------
     def tick(self, cycle: int) -> None:
         """Generate this cycle's request packets (called by the engine)."""
+        if self._stopped:
+            return
         for packet in self.generator.generate(cycle):
             self._enqueue(packet, cycle)
+
+    def stop(self) -> None:
+        """Stop generating new requests (drain phase)."""
+        self._stopped = True
 
     def quiescent(self) -> bool:
         """True when no packet can be generated (lets the engine skip cycles).
@@ -56,7 +65,7 @@ class TrafficManager:
         Replies are spawned from delivery events, which the engine never
         skips over, so only the request generator matters here.
         """
-        return self.generator.quiescent()
+        return self._stopped or self.generator.quiescent()
 
     def _enqueue(self, packet: Packet, cycle: int) -> None:
         if self.router_of_node is not None:
