@@ -1,35 +1,45 @@
-"""Engine micro-benchmark: cycles/sec at tiny scale + idle fast-forward.
+"""Engine micro-benchmark: cycles/sec across load regimes + idle fast-forward.
 
 Run directly to (re)generate ``BENCH_engine.json`` at the repository root::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full report
+    PYTHONPATH=src python benchmarks/bench_engine.py --profile  # + cProfile
 
-Three measurements establish the perf trajectory of the execution core:
+Measurements establishing the perf trajectory of the execution core:
 
-* ``uniform_load02`` — steady-state cycles/sec of a tiny-scale uniform run at
-  offered load 0.2 (the mostly-idle regime the event-driven scheduler
+* ``uniform_load02_cps`` — steady-state cycles/sec of a tiny-scale uniform
+  run at offered load 0.2 (the mostly-idle regime the event-driven scheduler
   targets), measured over a 5,000-cycle run so the one-time route-cache
   warm-up amortizes;
-* ``tiny_run`` — the standard 900-cycle tiny run (what the figure benchmarks
-  execute), plus its ``SimulationResult`` fingerprint so any behavioural
-  drift is visible next to the perf numbers;
-* ``idle_fast_forward`` — a zero-load run where the engine skips straight
-  across idle cycles.
+* ``tiny_run_cps`` — the standard 900-cycle tiny run (what the figure
+  benchmarks execute), plus its ``SimulationResult`` fingerprint so any
+  behavioural drift is visible next to the perf numbers;
+* ``tiny_load09_cps`` — the same tiny network at offered load 0.9: the
+  congested regime where allocation dominates (most routers active every
+  cycle, heads blocked on credits) and where adaptive-routing experiments
+  actually operate;
+* ``small_adversarial_cps`` — a small-scale Valiant run under adversarial
+  traffic at load 0.7: misrouting machinery plus sustained congestion;
+* ``idle_fast_forward_cps`` — a zero-load run where the engine skips
+  straight across idle cycles.
 
 ``seed_baseline`` records the same measurements taken on the polled seed
 engine (commit 067f1ce) on the same machine, interleaved with the current
 code; ``speedup_*`` are current/seed ratios.  ``pr1_baseline`` records the
 PR 1 engine (dict-memoized minimal routes, commit 67d610b) re-measured on
 the current machine immediately before the precomputed-route-table change,
-so ``speedup_*_vs_pr1`` isolates what the dense tables buy (they must stay
->= ~1.0: the tables may not regress the hot path).  ``pr2_baseline`` records
-the PR 2 code (commit 44945c7) re-measured interleaved with the session/probe
-redesign; ``ratio_*_vs_pr2`` guards the no-probe hot path (must stay within
-5% of 1.0 — probe dispatch is a single ``is not None`` check per site and
-only when subscribed).
+so ``speedup_*_vs_pr1`` isolates what the dense tables buy.  ``pr2_baseline``
+records the PR 2 code (commit 44945c7) re-measured interleaved with the
+session/probe redesign.  ``pr3_baseline`` records the PR 3 code (commit
+cc39bab) re-measured interleaved with the incremental-allocator rebuild
+(best of 6 alternating rounds on the same machine — only interleaved A/B
+numbers are comparable in the shared container); ``ratio_*_vs_pr3`` is what
+the array-backed hot-state core and incremental allocation buy, and also
+demonstrates that the PR 3 probe-guard regression (``ratio_*_vs_pr2`` < 1.0)
+is recovered.
 
 The ``probes`` section compares the same tiny run probes-off (plain
-``Simulation.run()``, which is now a Session shim) against probes-on
+``Simulation.run()``, which is a Session shim) against probes-on
 (``Session`` with a TimeSeriesProbe and a LinkUtilizationProbe attached):
 ``probe_overhead_pct`` is what attaching live telemetry costs.
 """
@@ -38,17 +48,17 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import sys
 import time
 from pathlib import Path
 
 try:  # pragma: no cover
     import repro  # noqa: F401
 except ImportError:  # pragma: no cover
-    import sys
-
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.runner import TINY, base_config
+from repro.core.arrangement import VcArrangement
+from repro.experiments.runner import SMALL, TINY, base_config
 from repro.probes import LinkUtilizationProbe, TimeSeriesProbe
 from repro.session import Session
 from repro.simulation import Simulation
@@ -65,8 +75,7 @@ SEED_BASELINE = {
 
 #: cycles/sec of the PR 1 engine (per-instance dict route memos) measured
 #: interleaved with the route-table code on the same machine (best of 5
-#: alternating rounds; the shared container is noisy, so only interleaved
-#: A/B numbers are comparable — see the verify skill's gotchas).
+#: alternating rounds).
 PR1_BASELINE = {
     "uniform_load02_cps": 5118,
     "tiny_run_cps": 4346,
@@ -74,14 +83,36 @@ PR1_BASELINE = {
 }
 
 #: cycles/sec of the PR 2 code (route tables, pre-session API, commit
-#: 44945c7) measured interleaved with the session/probe redesign on the same
-#: machine (best of 12 alternating rounds; idle fast-forward is too noisy in
-#: the shared container to A/B meaningfully and is guarded by its absolute
-#: magnitude instead).
+#: 44945c7) measured interleaved with the session/probe redesign.
 PR2_BASELINE = {
     "uniform_load02_cps": 7401,
     "tiny_run_cps": 6725,
 }
+
+#: cycles/sec of the PR 3 code (session/probes, commit cc39bab) measured
+#: interleaved with the incremental-allocator rebuild on the same machine
+#: (best of 6 alternating rounds; the congested entries did not exist before
+#: this PR and were measured by running the PR 3 tree under this harness).
+PR3_BASELINE = {
+    "uniform_load02_cps": 7344,
+    "tiny_run_cps": 6489,
+    "tiny_load09_cps": 1640,
+    "small_adversarial_cps": 1158,
+}
+
+
+def _tiny09_config():
+    return base_config(TINY, pattern="uniform", seed=7).with_load(0.9)
+
+
+def _small_adversarial_config():
+    return dataclasses.replace(
+        base_config(
+            SMALL, pattern="adversarial", algorithm="val", seed=7,
+            arrangement=VcArrangement.single_class(4, 2),
+        ).with_load(0.7),
+        warmup_cycles=300, measure_cycles=900,
+    )
 
 
 def _best_probed_cps(config, cycles: int, repeats: int = 5) -> float:
@@ -121,6 +152,13 @@ def run_benchmark() -> dict:
     fingerprint = dataclasses.asdict(Simulation(tiny).run())
     probed_cps = _best_probed_cps(tiny, tiny.total_cycles())
 
+    tiny09 = _tiny09_config()
+    tiny09_cps, _ = _best_cps(tiny09, tiny09.total_cycles())
+
+    adversarial = _small_adversarial_config()
+    adversarial_cps, _ = _best_cps(adversarial, adversarial.total_cycles(),
+                                   repeats=3)
+
     idle = dataclasses.replace(
         base_config(TINY, pattern="uniform", seed=7).with_load(0.0),
         warmup_cycles=2000, measure_cycles=8000,
@@ -130,6 +168,8 @@ def run_benchmark() -> dict:
     report = {
         "uniform_load02_cps": round(steady_cps),
         "tiny_run_cps": round(tiny_cps),
+        "tiny_load09_cps": round(tiny09_cps),
+        "small_adversarial_cps": round(adversarial_cps),
         "idle_fast_forward_cps": round(idle_cps),
         "idle_cycles_skipped": idle_sim.engine.idle_cycles_skipped,
         "seed_baseline": SEED_BASELINE,
@@ -152,6 +192,19 @@ def run_benchmark() -> dict:
             steady_cps / PR2_BASELINE["uniform_load02_cps"], 2
         ),
         "ratio_tiny_run_vs_pr2": round(tiny_cps / PR2_BASELINE["tiny_run_cps"], 2),
+        "pr3_baseline": PR3_BASELINE,
+        "ratio_uniform_load02_vs_pr3": round(
+            steady_cps / PR3_BASELINE["uniform_load02_cps"], 2
+        ),
+        "ratio_tiny_run_vs_pr3": round(
+            tiny_cps / PR3_BASELINE["tiny_run_cps"], 2
+        ),
+        "ratio_tiny_load09_vs_pr3": round(
+            tiny09_cps / PR3_BASELINE["tiny_load09_cps"], 2
+        ),
+        "ratio_small_adversarial_vs_pr3": round(
+            adversarial_cps / PR3_BASELINE["small_adversarial_cps"], 2
+        ),
         "probes": {
             "probes_off_tiny_cps": round(tiny_cps),
             "probes_on_tiny_cps": round(probed_cps),
@@ -163,14 +216,68 @@ def run_benchmark() -> dict:
     return report
 
 
+#: regression-gate entries re-measured by ``--check-regression`` (the CI
+#: perf-smoke job); kept here so the gate and the committed baseline always
+#: use the same configs and measurement protocol.
+_GATE_ENTRIES = ("tiny_run_cps", "tiny_load09_cps")
+
+#: generous threshold: shared CI runners are noisy, so only a >30%
+#: cycles/sec drop against the committed BENCH_engine.json fails.
+_GATE_MIN_RATIO = 0.70
+
+
+def check_regression() -> int:
+    """Re-measure the gate entries and compare against BENCH_engine.json."""
+    committed = json.loads(OUTPUT.read_text())
+    tiny = base_config(TINY, pattern="uniform", seed=7).with_load(0.2)
+    tiny09 = _tiny09_config()
+    measured = {
+        "tiny_run_cps": _best_cps(tiny, tiny.total_cycles(), repeats=4)[0],
+        "tiny_load09_cps": _best_cps(tiny09, tiny09.total_cycles(), repeats=4)[0],
+    }
+    failed = False
+    for key in _GATE_ENTRIES:
+        ratio = measured[key] / committed[key]
+        print(f"{key}: measured {measured[key]:.0f} vs committed "
+              f"{committed[key]} (x{ratio:.2f})")
+        if ratio < _GATE_MIN_RATIO:
+            print(f"FAIL: {key} regressed more than "
+                  f"{round((1 - _GATE_MIN_RATIO) * 100)}% vs the committed "
+                  "baseline")
+            failed = True
+    return 1 if failed else 0
+
+
+def profile_congested(top: int = 20) -> None:
+    """Print cProfile top-N cumulative of the congested tiny run."""
+    import cProfile
+    import pstats
+
+    config = _tiny09_config()
+    sim = Simulation(config)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler).sort_stats("cumulative")
+    stats.print_stats(top)
+
+
 def main() -> None:
+    if "--profile" in sys.argv:
+        profile_congested()
+        return
+    if "--check-regression" in sys.argv:
+        sys.exit(check_regression())
     report = run_benchmark()
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
-    for key in ("uniform_load02_cps", "tiny_run_cps", "idle_fast_forward_cps",
+    for key in ("uniform_load02_cps", "tiny_run_cps", "tiny_load09_cps",
+                "small_adversarial_cps", "idle_fast_forward_cps",
                 "speedup_uniform_load02", "speedup_tiny_run",
                 "speedup_idle_fast_forward",
-                "speedup_uniform_load02_vs_pr1", "speedup_tiny_run_vs_pr1",
-                "ratio_uniform_load02_vs_pr2", "ratio_tiny_run_vs_pr2"):
+                "ratio_uniform_load02_vs_pr2", "ratio_tiny_run_vs_pr2",
+                "ratio_uniform_load02_vs_pr3", "ratio_tiny_run_vs_pr3",
+                "ratio_tiny_load09_vs_pr3", "ratio_small_adversarial_vs_pr3"):
         print(f"{key}: {report[key]}")
     probes = report["probes"]
     print(f"probes_on_tiny_cps: {probes['probes_on_tiny_cps']} "

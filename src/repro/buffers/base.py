@@ -25,6 +25,32 @@ class BufferOrganization(ABC):
         if num_vcs < 1:
             raise ValueError("num_vcs must be >= 1")
         self.num_vcs = num_vcs
+        #: optional flat hot-state view: when bound, ``slab[base + vc]``
+        #: mirrors ``free_for(vc)`` after every mutation, so the allocator
+        #: inner loop reads plain ints instead of calling methods.
+        self._free_slab: list | None = None
+        self._free_base = 0
+
+    # -- hot-state binding -----------------------------------------------------
+    def bind_free_slab(self, slab: list, base: int) -> None:
+        """Mirror per-VC free space into ``slab[base + vc]`` from now on.
+
+        The slab is a flat, preallocated per-router list indexed by a single
+        ``(port, vc)`` integer; the buffer keeps its own accounting as the
+        source of truth and pushes the derived free-space values on every
+        :meth:`allocate`/:meth:`release`.
+        """
+        self._free_slab = slab
+        self._free_base = base
+        self._sync_free_slab()
+
+    def _sync_free_slab(self) -> None:
+        """Rewrite every bound slab entry (default: one query per VC)."""
+        slab = self._free_slab
+        if slab is not None:
+            base = self._free_base
+            for vc in range(self.num_vcs):
+                slab[base + vc] = self.free_for(vc)
 
     # -- queries -----------------------------------------------------------
     @abstractmethod

@@ -60,6 +60,10 @@ class DamqBuffer(BufferOrganization):
         self._private = private
         self._shared_capacity = total_capacity - sum(private)
         self._occupancy = [0] * num_vcs
+        #: phits of the shared pool currently in use, maintained incrementally
+        #: (a pure function of the per-VC occupancies, so allocation/release
+        #: order still does not matter).
+        self._shared_used = 0
 
     @classmethod
     def from_fraction(
@@ -77,14 +81,25 @@ class DamqBuffer(BufferOrganization):
         return cls(num_vcs, total_capacity, per_vc)
 
     # -- internals -----------------------------------------------------------
-    def _shared_used(self) -> int:
-        return sum(
-            max(0, occ - priv) for occ, priv in zip(self._occupancy, self._private)
-        )
-
     def shared_free(self) -> int:
         """Phits currently free in the shared pool."""
-        return self._shared_capacity - self._shared_used()
+        return self._shared_capacity - self._shared_used
+
+    def _sync_free_slab(self) -> None:
+        # One mutation can move the shared pool and therefore the free space
+        # of *every* VC, so the whole port view is rewritten (num_vcs is
+        # small, and this only runs on bound — router-owned — buffers).
+        slab = self._free_slab
+        if slab is not None:
+            base = self._free_base
+            shared_free = self._shared_capacity - self._shared_used
+            occupancy = self._occupancy
+            private = self._private
+            for vc in range(self.num_vcs):
+                private_free = private[vc] - occupancy[vc]
+                if private_free < 0:
+                    private_free = 0
+                slab[base + vc] = private_free + shared_free
 
     @property
     def shared_capacity(self) -> int:
@@ -120,13 +135,29 @@ class DamqBuffer(BufferOrganization):
             raise ValueError(
                 f"VC {vc} overflow: requested {phits}, available {self.free_for(vc)}"
             )
-        self._occupancy[vc] += phits
+        occ = self._occupancy[vc]
+        new = occ + phits
+        self._occupancy[vc] = new
+        priv = self._private[vc]
+        self._shared_used += (new - priv if new > priv else 0) - (
+            occ - priv if occ > priv else 0
+        )
+        if self._free_slab is not None:
+            self._sync_free_slab()
 
     def release(self, vc: int, phits: int) -> None:
         self._check_vc(vc)
         self._check_phits(phits)
-        if phits > self._occupancy[vc]:
+        occ = self._occupancy[vc]
+        if phits > occ:
             raise ValueError(
-                f"VC {vc} underflow: releasing {phits} with occupancy {self._occupancy[vc]}"
+                f"VC {vc} underflow: releasing {phits} with occupancy {occ}"
             )
-        self._occupancy[vc] -= phits
+        new = occ - phits
+        self._occupancy[vc] = new
+        priv = self._private[vc]
+        self._shared_used += (new - priv if new > priv else 0) - (
+            occ - priv if occ > priv else 0
+        )
+        if self._free_slab is not None:
+            self._sync_free_slab()

@@ -62,18 +62,26 @@ class StaticallyPartitionedBuffer(BufferOrganization):
     def allocate(self, vc: int, phits: int) -> None:
         if vc < 0:
             raise ValueError(f"VC {vc} out of range")
-        if self._occupancy[vc] + phits > self._capacity[vc]:
+        occupancy = self._occupancy[vc] + phits
+        if occupancy > self._capacity[vc]:
             raise ValueError(
                 f"VC {vc} overflow: occupancy {self._occupancy[vc]} + {phits} "
                 f"> capacity {self._capacity[vc]}"
             )
-        self._occupancy[vc] += phits
+        self._occupancy[vc] = occupancy
+        slab = self._free_slab
+        if slab is not None:
+            slab[self._free_base + vc] = self._capacity[vc] - occupancy
 
     def release(self, vc: int, phits: int) -> None:
         if vc < 0:
             raise ValueError(f"VC {vc} out of range")
-        if phits > self._occupancy[vc]:
+        occupancy = self._occupancy[vc] - phits
+        if occupancy < 0:
             raise ValueError(
                 f"VC {vc} underflow: releasing {phits} with occupancy {self._occupancy[vc]}"
             )
-        self._occupancy[vc] -= phits
+        self._occupancy[vc] = occupancy
+        slab = self._free_slab
+        if slab is not None:
+            slab[self._free_base + vc] = self._capacity[vc] - occupancy

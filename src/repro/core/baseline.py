@@ -41,8 +41,31 @@ class DistanceBasedPolicy(VcPolicy):
 
     def __init__(self, arrangement: VcArrangement) -> None:
         super().__init__(arrangement)
+        # Dense precomputed slot table (see PhaseVcTable): slot_for becomes
+        # a single indexed lookup for in-bounds phase state.  Function-level
+        # import: ``repro.routing`` imports ``repro.core`` at module load.
+        from ..routing.route_table import PhaseVcTable
+
+        self._slot_table = PhaseVcTable(self._slot_closed_form)
+        #: interned VcRange singletons per slot VC (ranges here are always
+        #: single-VC; construction of the frozen dataclass is not free).
+        self._range_cache: dict[int, VcRange] = {}
 
     # -- slot computation -----------------------------------------------------
+    @staticmethod
+    def _slot_closed_form(out_is_global: int, local_offset: int,
+                          global_offset: int, globals_taken: int,
+                          position: int, has_global_remaining: int) -> int:
+        """Closed-form slot assignment over plain ints (table generator)."""
+        if out_is_global:
+            return global_offset + globals_taken
+        if has_global_remaining or globals_taken:
+            locals_taken = position - globals_taken
+            if globals_taken:
+                return local_offset + max(locals_taken, 1)
+            return local_offset + locals_taken
+        return local_offset + position
+
     def slot_for(self, ctx: HopContext) -> int:
         """Reference slot (within the packet's virtual network) for this hop.
 
@@ -54,20 +77,28 @@ class DistanceBasedPolicy(VcPolicy):
         Dragonfly/Flattened-Butterfly shapes (at most one global hop, at most
         one local hop on each side of it) this reduces exactly to the
         l0/g1/l2 assignment of Section II.
+
+        The arithmetic is precomputed into ``self._slot_table`` — the hop
+        evaluates as one dense-table index (inlined here); out-of-bounds
+        phase state (never reached by the canonical reference shapes) falls
+        back to the closed form.
         """
         local_offset, global_offset = ctx.phase_offsets
         globals_taken = int(ctx.phase_global_taken)
-        if ctx.out_type == LinkType.GLOBAL:
-            return global_offset + globals_taken
-        # Local (or untyped) hop.
-        if any(h == LinkType.GLOBAL for h in ctx.intended_remaining) or globals_taken:
-            # Typed network: discriminate the before-/after-global local slots.
-            locals_taken = ctx.phase_position - globals_taken
-            if globals_taken:
-                return local_offset + max(locals_taken, 1)
-            return local_offset + locals_taken
-        # Untyped network (no global hops anywhere): position within the phase.
-        return local_offset + ctx.phase_position
+        position = ctx.phase_position
+        out_is_global = 1 if ctx.out_type == LinkType.GLOBAL else 0
+        has_global = 1 if (
+            LinkType.GLOBAL in ctx.intended_remaining
+        ) else 0
+        if (0 <= local_offset < 8 and 0 <= global_offset < 8
+                and 0 <= globals_taken < 8 and 0 <= position < 16):
+            index = (((out_is_global * 8 + local_offset) * 8 + global_offset)
+                     * 8 + globals_taken) * 16 + position
+            return self._slot_table._table[index * 2 + has_global]
+        return self._slot_closed_form(
+            out_is_global, local_offset, global_offset, globals_taken,
+            position, has_global,
+        )
 
     def _class_offset(self, link_type: LinkType, msg_class: MessageClass) -> int:
         """Index of the first VC of the packet's virtual network."""
@@ -87,7 +118,33 @@ class DistanceBasedPolicy(VcPolicy):
         if slot >= size:
             return None
         vc = self._class_offset(ctx.out_type, ctx.msg_class) + slot
-        return VcRange(vc, vc)
+        cached = self._range_cache.get(vc)
+        if cached is None:
+            cached = self._range_cache[vc] = VcRange(vc, vc)
+        return cached
+
+    def evaluate(self, ctx: HopContext):
+        """Combined allowed_vcs + hop_kind with one slot computation."""
+        slot = self.slot_for(ctx)
+        size = self._subsequence_size(ctx.out_type, ctx.msg_class)
+        if slot >= size:
+            return None, None
+        vc = self._class_offset(ctx.out_type, ctx.msg_class) + slot
+        cached = self._range_cache.get(vc)
+        if cached is None:
+            cached = self._range_cache[vc] = VcRange(vc, vc)
+        needed_local = 0
+        needed_global = 0
+        for hop in ctx.intended_remaining:
+            if hop == LinkType.LOCAL:
+                needed_local += 1
+            else:
+                needed_global += 1
+        if (needed_local > self._subsequence_size(LinkType.LOCAL, ctx.msg_class)
+                or needed_global
+                > self._subsequence_size(LinkType.GLOBAL, ctx.msg_class)):
+            return cached, HopKind.FORBIDDEN
+        return cached, HopKind.SAFE
 
     def hop_kind(self, ctx: HopContext) -> HopKind:
         # The baseline only admits hops whose entire remaining path fits the
@@ -96,10 +153,17 @@ class DistanceBasedPolicy(VcPolicy):
         size = self._subsequence_size(ctx.out_type, ctx.msg_class)
         if slot >= size:
             return HopKind.FORBIDDEN
-        for link_type in (LinkType.LOCAL, LinkType.GLOBAL):
-            needed = sum(1 for h in ctx.intended_remaining if h == link_type)
-            if needed > self._subsequence_size(link_type, ctx.msg_class):
-                return HopKind.FORBIDDEN
+        needed_local = 0
+        needed_global = 0
+        for hop in ctx.intended_remaining:
+            if hop == LinkType.LOCAL:
+                needed_local += 1
+            else:
+                needed_global += 1
+        if needed_local > self._subsequence_size(LinkType.LOCAL, ctx.msg_class):
+            return HopKind.FORBIDDEN
+        if needed_global > self._subsequence_size(LinkType.GLOBAL, ctx.msg_class):
+            return HopKind.FORBIDDEN
         return HopKind.SAFE
 
 

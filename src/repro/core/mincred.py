@@ -77,10 +77,30 @@ class PortOccupancyLedger:
             raise ValueError("per_vc length must equal num_vcs")
 
     def add(self, vc: int, phits: int, minimal: bool) -> None:
-        self.per_vc[vc].add(phits, minimal)
+        # Inlined SplitOccupancy.add: this runs on every credit debit, and
+        # the router hot path guarantees phits >= 0.
+        split = self.per_vc[vc]
+        if minimal:
+            split.minimal += phits
+        else:
+            split.nonminimal += phits
 
     def remove(self, vc: int, phits: int, minimal: bool) -> None:
-        self.per_vc[vc].remove(phits, minimal)
+        # Inlined SplitOccupancy.remove, underflow checks preserved.
+        split = self.per_vc[vc]
+        if minimal:
+            if phits > split.minimal:
+                raise ValueError(
+                    f"removing {phits} minimal phits but only {split.minimal} accounted"
+                )
+            split.minimal -= phits
+        else:
+            if phits > split.nonminimal:
+                raise ValueError(
+                    f"removing {phits} non-minimal phits but only "
+                    f"{split.nonminimal} accounted"
+                )
+            split.nonminimal -= phits
 
     def port_occupancy(self, minimal_only: bool = False) -> int:
         return sum(vc.occupancy(minimal_only) for vc in self.per_vc)

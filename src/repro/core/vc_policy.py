@@ -53,7 +53,7 @@ class VcRange:
         return self.hi - self.lo + 1
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class HopContext:
     """Everything a VC policy needs to know about the hop being evaluated.
 
@@ -122,6 +122,19 @@ class VcPolicy(ABC):
     @abstractmethod
     def hop_kind(self, ctx: HopContext) -> HopKind:
         """Classify the hop as safe, opportunistic or forbidden."""
+
+    def evaluate(self, ctx: HopContext) -> tuple[Optional[VcRange], Optional[HopKind]]:
+        """Combined ``(allowed_vcs, hop_kind)`` evaluation of one hop.
+
+        Candidate construction needs both answers; policies whose two
+        methods share intermediate work (e.g. the baseline's slot
+        computation) override this to compute it once.  Returns
+        ``(None, None)`` for forbidden hops.
+        """
+        vc_range = self.allowed_vcs(ctx)
+        if vc_range is None:
+            return None, None
+        return vc_range, self.hop_kind(ctx)
 
     # -- shared helpers -------------------------------------------------------
     def class_ceiling(self, link_type: LinkType, msg_class: MessageClass) -> int:

@@ -5,6 +5,15 @@ function* picks the concrete virtual channel among those with enough credits
 for the whole packet (virtual cut-through).  The paper evaluates four
 policies: Join-the-Shortest-Queue (default, best on average), highest-index,
 lowest-index and random.
+
+Hot-path note: the router inlines the stock JSQ/highest/lowest behaviours
+directly into its credit-scan loop (``repro.router.router._selection_mode``
+identity-checks ``type(selection).choose`` against the classes below, so a
+subclass that overrides ``choose`` automatically falls back to the generic
+call).  If you change the semantics of one of these ``choose`` methods, the
+inlined copies must change with it — ``tests/test_alloc_equivalence.py``
+exercises every stock selection against the non-inlined reference
+implementation and will catch a divergence.
 """
 
 from __future__ import annotations

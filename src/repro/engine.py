@@ -1,10 +1,33 @@
 """Event-driven simulation engine.
 
 The engine owns simulated time.  Components schedule callbacks on a
-heap-backed calendar (packet arrivals, credit returns, output-buffer
+two-level calendar (packet arrivals, credit returns, output-buffer
 releases, delivery notifications); each cycle the engine first fires the
 events due at that cycle, then lets the traffic sources generate new packets
 and finally steps the routers that declared themselves *active*.
+
+Calendar layout
+---------------
+Almost every event a network schedules lands within a few link latencies of
+the current cycle, so the calendar is split into a **near-term ring** — a
+circular buffer of ``RING_SPAN`` per-cycle buckets appended to and drained
+with plain list operations — and a **far wheel** (dict of cycle -> bucket
+plus a min-heap of cycles) that only sees the rare events scheduled further
+out than the ring span.  This removes the heap churn of wake/transmit
+scheduling from the hot path while keeping ``run_until``'s idle fast-forward
+O(1) when the ring is empty.
+
+Within one cycle, events fire in scheduling order.  The split preserves
+this: an event is "far" only while the cycle is at least ``RING_SPAN`` away,
+and simulated time only moves forward, so every far event of a cycle was
+scheduled before every near event of that cycle.  Firing the far bucket
+first, and routing near appends into an existing far bucket, therefore
+reproduces the exact single-calendar insertion order.
+
+Events are stored as ``(fn, args)`` pairs and fired as ``fn(*args)``:
+:meth:`schedule_call` lets hot callers (links, credit channels, ejection
+completions) pass precomputed argument tuples instead of allocating one
+closure per packet.
 
 Activity tracking replaces the seed's per-cycle scan of every router: a
 router registers as active when it gains work (a packet arrives, a source
@@ -23,25 +46,39 @@ of ticking through empty cycles.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 Event = Callable[[int], None]
 
+#: number of near-term per-cycle buckets (power of two; must exceed the
+#: longest common scheduling distance — link latency + serialization — for
+#: the ring to absorb the traffic, though any value is *correct*).
+RING_SPAN = 256
+_RING_MASK = RING_SPAN - 1
+
 
 class Engine:
-    """Heap-backed event calendar plus the activity-tracked cycle loop."""
+    """Ring + heap event calendar plus the activity-tracked cycle loop."""
 
     def __init__(self) -> None:
         self.now = 0
-        self._wheel: Dict[int, List[Event]] = {}
-        #: min-heap of cycles that have at least one pending event.
+        #: near-term calendar: one bucket of (fn, args) pairs per cycle in
+        #: [now, now + RING_SPAN), indexed by ``cycle & _RING_MASK``.
+        self._ring: List[list] = [[] for _ in range(RING_SPAN)]
+        self._ring_events = 0
+        #: far calendar: cycle -> bucket, plus a min-heap of those cycles.
+        self._wheel: Dict[int, List[Tuple[Callable, tuple]]] = {}
         self._event_cycles: List[int] = []
         self._steppers: List[object] = []
+        #: per-stepper merged has_work+step entry points (see register_router).
+        self._pumps: List[Callable[[int], bool]] = []
         self._generators: List[object] = []
         #: indices (into ``_steppers``) of routers that may have work.
         self._active: set[int] = set()
-        #: timed router wake-ups: cycle -> set of stepper indices.  Cheaper
-        #: than generic events (a set union at the cycle, no callables).
+        #: timed router wake-ups (cheaper than events: a set union, no calls).
+        #: Near wakes ride a ring of index-sets; far wakes use a dict + heap.
+        self._wake_ring: List[Optional[set]] = [None] * RING_SPAN
+        self._wake_ring_count = 0
         self._wake_wheel: Dict[int, set] = {}
         self._wake_cycles: List[int] = []
         self.events_processed = 0
@@ -58,6 +95,17 @@ class Engine:
         """
         index = len(self._steppers)
         self._steppers.append(router)
+        # One bound call per active router per cycle: routers expose a merged
+        # ``pump(now) -> bool`` (has_work + step); plain steppers get a
+        # wrapper so the cycle loop stays uniform.
+        pump = getattr(router, "pump", None)
+        if pump is None:
+            def pump(now: int, _router: object = router) -> bool:
+                if _router.has_work():
+                    _router.step(now)
+                    return True
+                return False
+        self._pumps.append(pump)
         self._active.add(index)
         # Routers use these handles to signal activity without indirection.
         try:
@@ -78,41 +126,90 @@ class Engine:
         return len(self._active)
 
     # -- event scheduling ----------------------------------------------------------
+    def schedule_call(self, cycle: int, fn: Callable, args: tuple) -> None:
+        """Run ``fn(*args)`` at ``cycle`` (the closure-free hot-path form)."""
+        now = self.now
+        if cycle < now:
+            raise ValueError(f"cannot schedule event at {cycle}, current cycle is {now}")
+        wheel = self._wheel
+        if wheel:
+            bucket = wheel.get(cycle)
+            if bucket is not None:
+                # A far bucket exists for this cycle; appending keeps the
+                # exact single-calendar insertion order (module docstring).
+                bucket.append((fn, args))
+                return
+        if cycle - now < RING_SPAN:
+            self._ring[cycle & _RING_MASK].append((fn, args))
+            self._ring_events += 1
+        else:
+            wheel[cycle] = [(fn, args)]
+            heapq.heappush(self._event_cycles, cycle)
+
     def schedule(self, cycle: int, event: Event) -> None:
         """Run ``event(cycle)`` at the given absolute cycle (must not be in the past)."""
-        if cycle < self.now:
-            raise ValueError(f"cannot schedule event at {cycle}, current cycle is {self.now}")
-        bucket = self._wheel.get(cycle)
-        if bucket is None:
-            self._wheel[cycle] = [event]
-            heapq.heappush(self._event_cycles, cycle)
-        else:
-            bucket.append(event)
+        self.schedule_call(cycle, event, (cycle,))
 
     def schedule_in(self, delay: int, event: Event) -> None:
         self.schedule(self.now + delay, event)
 
     def schedule_wake(self, cycle: int, index: int) -> None:
         """Re-activate stepper ``index`` at ``cycle`` (timed router sleep)."""
-        bucket = self._wake_wheel.get(cycle)
-        if bucket is None:
-            self._wake_wheel[cycle] = {index}
-            heapq.heappush(self._wake_cycles, cycle)
+        if cycle <= self.now:
+            # The current cycle's ring slot is drained at the top of tick(),
+            # so a due-now (or overdue) wake must go straight to the active
+            # set — a ring insert would silently fire RING_SPAN cycles late.
+            self._active.add(index)
+            return
+        if cycle - self.now < RING_SPAN:
+            slot = cycle & _RING_MASK
+            bucket = self._wake_ring[slot]
+            if bucket is None:
+                self._wake_ring[slot] = {index}
+                self._wake_ring_count += 1
+            else:
+                bucket.add(index)
         else:
-            bucket.add(index)
+            bucket = self._wake_wheel.get(cycle)
+            if bucket is None:
+                self._wake_wheel[cycle] = {index}
+                heapq.heappush(self._wake_cycles, cycle)
+            else:
+                bucket.add(index)
 
     # -- execution ---------------------------------------------------------------------
     def _fire_events(self, cycle: int) -> None:
-        while self._event_cycles and self._event_cycles[0] == cycle:
-            heapq.heappop(self._event_cycles)
-            events = self._wheel.pop(cycle)
-            self.events_processed += len(events)
-            for event in events:
-                event(cycle)
+        fired = 0
+        heap = self._event_cycles
+        while heap and heap[0] == cycle:
+            heapq.heappop(heap)
+            for fn, args in self._wheel.pop(cycle):
+                fn(*args)
+                fired += 1
+        ring = self._ring
+        slot = cycle & _RING_MASK
+        bucket = ring[slot]
+        while bucket:
+            # Events fired now may schedule more work for this same cycle;
+            # swap in a fresh bucket so they are picked up by the next pass.
+            ring[slot] = []
+            self._ring_events -= len(bucket)
+            for fn, args in bucket:
+                fn(*args)
+            fired += len(bucket)
+            bucket = ring[slot]
+        if fired:
+            self.events_processed += fired
 
     def tick(self) -> None:
         """Advance the simulation by one cycle."""
         cycle = self.now
+        slot = cycle & _RING_MASK
+        wakes = self._wake_ring[slot]
+        if wakes is not None:
+            self._wake_ring[slot] = None
+            self._wake_ring_count -= 1
+            self._active |= wakes
         if self._wake_cycles and self._wake_cycles[0] <= cycle:
             while self._wake_cycles and self._wake_cycles[0] <= cycle:
                 self._active |= self._wake_wheel.pop(heapq.heappop(self._wake_cycles))
@@ -121,12 +218,9 @@ class Engine:
             generator.tick(cycle)
         active = self._active
         if active:
-            steppers = self._steppers
+            pumps = self._pumps
             for index in sorted(active):
-                router = steppers[index]
-                if router.has_work():
-                    router.step(cycle)
-                else:
+                if not pumps[index](cycle):
                     active.discard(index)
         self.now = cycle + 1
 
@@ -142,13 +236,25 @@ class Engine:
 
     def _next_event_cycle(self) -> Optional[int]:
         """Next cycle with a scheduled event or timed router wake."""
+        best: Optional[int] = None
+        if self._ring_events or self._wake_ring_count:
+            # Bounded scan of the near-term ring; the first hit is the answer
+            # for the ring (buckets are unique per cycle within the span).
+            ring = self._ring
+            wake_ring = self._wake_ring
+            now = self.now
+            for cycle in range(now, now + RING_SPAN):
+                slot = cycle & _RING_MASK
+                if ring[slot] or wake_ring[slot] is not None:
+                    best = cycle
+                    break
         events = self._event_cycles
         wakes = self._wake_cycles
-        if events and wakes:
-            return min(events[0], wakes[0])
-        if events:
-            return events[0]
-        return wakes[0] if wakes else None
+        if events and (best is None or events[0] < best):
+            best = events[0]
+        if wakes and (best is None or wakes[0] < best):
+            best = wakes[0]
+        return best
 
     def run(self, cycles: int, callback: Optional[Callable[[int], None]] = None) -> None:
         """Run ``cycles`` additional cycles, optionally invoking ``callback`` each cycle."""
@@ -185,7 +291,7 @@ class Engine:
         return self._next_event_cycle()
 
     def pending_events(self) -> int:
-        return sum(len(events) for events in self._wheel.values())
+        return self._ring_events + sum(len(events) for events in self._wheel.values())
 
     def routers(self) -> Iterable[object]:
         return tuple(self._steppers)

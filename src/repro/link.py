@@ -62,7 +62,7 @@ class Link:
         delivered downstream once its last phit lands, ``latency`` cycles
         later (virtual cut-through at packet granularity).
         """
-        if not self.idle_at(now):
+        if self.busy_until > now:
             raise RuntimeError(f"link {self.name or id(self)} busy until {self.busy_until}")
         tail_out = now + packet.size_phits
         self.busy_until = tail_out
@@ -70,7 +70,9 @@ class Link:
         if self.probe_hook is not None:
             self.probe_hook(self, packet, vc, now)
         arrival = tail_out + self.latency
-        self.engine.schedule(arrival, lambda t, p=packet, v=vc: self._deliver(p, v, t))
+        # The delivery arguments are fully known here, so the event is a
+        # closure-free (fn, args) pair on the engine's near-term ring.
+        self.engine.schedule_call(arrival, self._deliver, (packet, vc, arrival))
         return tail_out
 
 
@@ -114,7 +116,4 @@ class CreditChannel:
         """Return ``phits`` of credit for ``vc`` after the channel latency."""
         if self._deliver is None:
             raise RuntimeError("credit channel is not connected to an upstream tracker")
-        self.engine.schedule(
-            now + self.latency,
-            lambda t, v=vc, p=phits, m=minimal: self._deliver(v, p, m),
-        )
+        self.engine.schedule_call(now + self.latency, self._deliver, (vc, phits, minimal))

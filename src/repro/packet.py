@@ -9,6 +9,11 @@ from typing import Optional
 
 from .core.link_types import MessageClass
 
+#: process-global fallback id counter, used only for packets constructed
+#: without an explicit ``pid`` (hand-built packets in tests and tools).
+#: Simulation-generated packets draw from a per-simulation counter instead
+#: (see :class:`repro.traffic.reactive.TrafficManager`), so back-to-back
+#: ``Simulation`` runs in one process see identical pid sequences.
 _packet_ids = itertools.count()
 
 
@@ -51,8 +56,10 @@ class Packet:
     hops: int = 0
 
     # -- VC accounting phase (distance-based slot alignment) -------------------
-    #: reference-slot offsets (local, global) of the current routing phase.
-    phase_offsets: tuple[int, int] = (0, 0)
+    #: reference-slot offsets (local, global) of the current routing phase,
+    #: stored as two plain ints so routing-plan memo keys stay flat.
+    phase_local: int = 0
+    phase_global: int = 0
     #: hops taken within the current phase.
     phase_position: int = 0
     #: number of global hops traversed within the current phase (truthy once
@@ -65,8 +72,6 @@ class Packet:
     #: routing class under which the packet's current buffer credits were
     #: debited upstream (must be echoed on the credit return).
     credit_tag_minimal: bool = True
-    #: cached forwarding plan: (router_id, input_vc, plan object).
-    plan_cache: Optional[tuple] = None
 
     # -- bookkeeping ---------------------------------------------------------------
     injected_at: int = -1
@@ -90,15 +95,23 @@ class Packet:
         return self.delivered_at - self.created_at
 
     def mark_valiant(self, intermediate_router: int) -> None:
-        """Switch the packet onto a Valiant path through ``intermediate_router``."""
+        """Switch the packet onto a Valiant path through ``intermediate_router``.
+
+        Called from within a routing decision, i.e. before the plan being
+        computed is cached, so no plan-cache invalidation is needed.
+        """
         self.route_kind = RouteKind.VALIANT
         self.intermediate_router = intermediate_router
         self.intermediate_reached = False
-        self.plan_cache = None
+
+    @property
+    def phase_offsets(self) -> tuple[int, int]:
+        """Reference-slot offsets (local, global) of the current phase."""
+        return (self.phase_local, self.phase_global)
 
     def begin_phase(self, offsets: tuple[int, int]) -> None:
         """Start a new routing phase (e.g. the second minimal segment of Valiant)."""
-        self.phase_offsets = offsets
+        self.phase_local, self.phase_global = offsets
         self.phase_position = 0
         self.phase_global_taken = 0
 

@@ -8,12 +8,23 @@ serialization, and each attached node owns an injection port (three deep VC
 buffers in Table V) and two consumption (ejection) ports — one for requests,
 one for replies — so that request-reply protocol deadlock is resolved at the
 endpoints as in Cray Cascade.
+
+Hot-state layout
+----------------
+The fields the allocator reads every cycle (resident counts, pipeline
+readiness, ejection busy timers, output crossbar/grant/buffer state) live in
+flat per-router slabs — preallocated lists indexed by a single integer — and
+each port object is *bound* to its slice at construction time via
+``bind_hot_state``.  Ports created standalone (unit tests, tools) own a
+private mini-slab, so the methods below behave identically either way; the
+attribute names of the old object-per-field layout remain available as
+read-only properties.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, List, Optional
 
 from ..buffers.base import BufferOrganization
 from ..core.link_types import LinkType, MessageClass
@@ -21,9 +32,29 @@ from ..link import CreditChannel, Link
 from ..packet import Packet
 from .credits import CreditTracker
 
+#: input-port slab offsets (stride 3): resident packet count, earliest head
+#: pipeline-ready cycle, and the port's blocked-verdict expiry (-1 = none —
+#: the allocator must evaluate the port; see Router._allocate).
+IN_RESIDENT = 0
+IN_MIN_READY = 1
+IN_BLOCKED = 2
+IN_STRIDE = 3
+
+#: output-port slab offsets (stride 4).
+OUT_XBAR_BUSY = 0
+OUT_GRANT_STAMP = 1
+OUT_GRANTS = 2
+OUT_BUF_OCC = 3
+
 
 class InputPort:
     """Per-VC queues of a network input port (or an injection port)."""
+
+    __slots__ = (
+        "port_id", "link_type", "num_vcs", "buffer", "pipeline_latency",
+        "is_injection", "queues", "credit_channel", "head_plans", "rr_orders",
+        "on_occupancy", "_hot", "_hb", "_buf_allocate", "_buf_release",
+    )
 
     def __init__(
         self,
@@ -44,33 +75,68 @@ class InputPort:
         self.is_injection = is_injection
         #: per-VC FIFO of (packet, ready_cycle) pairs.
         self.queues: list[Deque[tuple[Packet, int]]] = [deque() for _ in range(num_vcs)]
+        #: precomputed round-robin visit orders: ``rr_orders[p]`` is the VC
+        #: scan sequence starting at pointer ``p`` (allocator inner loop).
+        self.rr_orders: list[tuple[int, ...]] = [
+            tuple((start + offset) % num_vcs for offset in range(num_vcs))
+            for start in range(num_vcs)
+        ]
         #: reverse channel returning credits to the upstream output port.
         self.credit_channel: Optional[CreditChannel] = None
-        #: round-robin pointer over VCs used by the allocator.
-        self.rr_pointer = 0
-        #: crossbar availability of this input.
-        self.xbar_busy_until = 0
-        #: number of packets currently resident in the port.
-        self.resident_packets = 0
-        #: earliest cycle at which any head packet clears the pipeline; the
-        #: allocator skips the whole port while ``min_ready`` is in the future
-        #: (only meaningful while ``resident_packets > 0``).
-        self.min_ready = 0
+        #: per-VC cached forwarding plan of the current head packet, computed
+        #: once by the router and invalidated when the head changes (pop).
+        #: Arrivals never stale an entry: a VC whose head changes through
+        #: ``receive`` was empty, so its entry was already None.
+        self.head_plans: List[Optional[object]] = [None] * num_vcs
         #: probe dispatch ``hook(vc, delta_phits, occupancy, now)``; None (the
         #: default) keeps the no-probe receive/pop paths dispatch-free.
         self.on_occupancy = None
+        #: hot-state slab slice [resident, min_ready, blocked_until];
+        #: standalone ports own a private slab until a router binds them
+        #: into its shared one.
+        self._hot: list = [0, 0, -1]
+        self._hb = 0
+        #: bound buffer mutators (one attribute chase less per phit move).
+        self._buf_allocate = buffer.allocate
+        self._buf_release = buffer.release
+
+    def bind_hot_state(self, slab: list, base: int) -> None:
+        """Move this port's hot counters into ``slab[base:base+3]``."""
+        hot = self._hot
+        hb = self._hb
+        for offset in range(IN_STRIDE):
+            slab[base + offset] = hot[hb + offset]
+        self._hot = slab
+        self._hb = base
+
+    @property
+    def resident_packets(self) -> int:
+        """Number of packets currently resident in the port."""
+        return self._hot[self._hb + IN_RESIDENT]
+
+    @property
+    def min_ready(self) -> int:
+        """Earliest cycle at which any head packet clears the pipeline (only
+        meaningful while ``resident_packets > 0``)."""
+        return self._hot[self._hb + IN_MIN_READY]
 
     # -- arrival --------------------------------------------------------------
     def receive(self, packet: Packet, vc: int, now: int) -> None:
         """Store an arriving packet into VC ``vc``; it becomes routable after
         the router pipeline latency."""
-        self.buffer.allocate(vc, packet.size_phits)
+        self._buf_allocate(vc, packet.size_phits)
         packet.current_vc = vc
         ready = now + self.pipeline_latency
         self.queues[vc].append((packet, ready))
-        self.resident_packets += 1
-        if self.resident_packets == 1 or ready < self.min_ready:
-            self.min_ready = ready
+        hot = self._hot
+        base = self._hb
+        resident = hot[base] + 1
+        hot[base] = resident
+        if resident == 1 or ready < hot[base + 1]:
+            hot[base + 1] = ready
+        # A recorded blocked verdict never covers this new head, so it must
+        # be re-evaluated (the head only becomes routable at ``ready``).
+        hot[base + 2] = -1
         if self.on_occupancy is not None:
             self.on_occupancy(vc, packet.size_phits, self.buffer.occupancy(vc), now)
 
@@ -86,50 +152,26 @@ class InputPort:
     def pop(self, vc: int, now: int, minimal: bool) -> Packet:
         """Remove the head packet of ``vc``, free its space and return credits."""
         packet, _ = self.queues[vc].popleft()
-        self.buffer.release(vc, packet.size_phits)
-        self.resident_packets -= 1
-        if self.resident_packets:
+        self.head_plans[vc] = None
+        self._buf_release(vc, packet.size_phits)
+        hot = self._hot
+        base = self._hb
+        resident = hot[base] - 1
+        hot[base] = resident
+        hot[base + 2] = -1  # head changed: any blocked verdict is stale
+        if resident:
             min_ready = -1
             for queue in self.queues:
                 if queue:
                     ready = queue[0][1]
                     if min_ready < 0 or ready < min_ready:
                         min_ready = ready
-            self.min_ready = min_ready
+            hot[base + 1] = min_ready
         if self.credit_channel is not None:
             self.credit_channel.send_credit(vc, packet.size_phits, minimal, now)
         if self.on_occupancy is not None:
             self.on_occupancy(vc, -packet.size_phits, self.buffer.occupancy(vc), now)
         return packet
-
-    def has_head_ready_in(self, after: int, now: int) -> bool:
-        """Any head packet that became routable in the window ``(after, now]``?
-
-        Used to invalidate a recorded allocation blockage: heads that cleared
-        the router pipeline after the blockage verdict were never evaluated
-        by it.
-        """
-        for queue in self.queues:
-            if queue:
-                ready = queue[0][1]
-                if after < ready <= now:
-                    return True
-        return False
-
-    def next_head_ready_after(self, now: int) -> int:
-        """Earliest head-packet ready time strictly after ``now`` (-1 if none).
-
-        Needed when the port already has a routable-but-blocked head: the
-        next head to clear the pipeline must re-trigger allocation even
-        though ``min_ready`` is already in the past.
-        """
-        next_ready = -1
-        for queue in self.queues:
-            if queue:
-                ready = queue[0][1]
-                if ready > now and (next_ready < 0 or ready < next_ready):
-                    next_ready = ready
-        return next_ready
 
     def occupancy(self, vc: int) -> int:
         return self.buffer.occupancy(vc)
@@ -140,6 +182,12 @@ class InputPort:
 
 class OutputPort:
     """Network output port: credit tracker, output buffer and link access."""
+
+    __slots__ = (
+        "port_id", "link_type", "credits", "output_buffer_capacity",
+        "_pending_releases", "link", "packets_forwarded", "_hot", "_hb",
+        "_debit",
+    )
 
     def __init__(
         self,
@@ -152,19 +200,45 @@ class OutputPort:
         self.link_type = link_type
         self.credits = credit_tracker
         self.output_buffer_capacity = output_buffer_phits
-        self.output_buffer_occupancy = 0
         #: (cycle, phits) reclamations applied lazily by buffer_space_for —
         #: cheaper than scheduling one engine event per transmitted packet.
         self._pending_releases: Deque[tuple[int, int]] = deque()
-        self.xbar_busy_until = 0
         self.link: Optional[Link] = None
-        #: grants handed out in the cycle ``grant_stamp`` (bounded by the
-        #: speedup); the stamp makes the counter self-resetting, so the
-        #: allocator never has to sweep output ports at the top of a cycle.
-        self.grants_this_cycle = 0
-        self.grant_stamp = -1
         #: utilization accounting.
         self.packets_forwarded = 0
+        #: hot-state slab slice [xbar_busy, grant_stamp, grants, buf_occ].
+        #: The grant stamp makes the per-cycle grant counter self-resetting,
+        #: so the allocator never sweeps output ports at the top of a cycle.
+        self._hot: list = [0, -1, 0, 0]
+        self._hb = 0
+        #: grant-time credit debit entry point; the owning router replaces
+        #: this with a fused closure for statically partitioned mirrors.
+        self._debit = credit_tracker.debit
+
+    def bind_hot_state(self, slab: list, base: int) -> None:
+        """Move this port's hot counters into ``slab[base:base+4]``."""
+        hot = self._hot
+        hb = self._hb
+        for offset in range(4):
+            slab[base + offset] = hot[hb + offset]
+        self._hot = slab
+        self._hb = base
+
+    @property
+    def xbar_busy_until(self) -> int:
+        return self._hot[self._hb + OUT_XBAR_BUSY]
+
+    @property
+    def grant_stamp(self) -> int:
+        return self._hot[self._hb + OUT_GRANT_STAMP]
+
+    @property
+    def grants_this_cycle(self) -> int:
+        return self._hot[self._hb + OUT_GRANTS]
+
+    @property
+    def output_buffer_occupancy(self) -> int:
+        return self._hot[self._hb + OUT_BUF_OCC]
 
     def attach_link(self, link: Link) -> None:
         self.link = link
@@ -176,11 +250,13 @@ class OutputPort:
         ``now`` lets the port apply pending lazy reclamations first; omit it
         for a pure occupancy check (e.g. the post-grant assertion).
         """
+        hot = self._hot
+        index = self._hb + OUT_BUF_OCC
         if now is not None:
             pending = self._pending_releases
             while pending and pending[0][0] <= now:
-                self.output_buffer_occupancy -= pending.popleft()[1]
-        return self.output_buffer_occupancy + phits <= self.output_buffer_capacity
+                hot[index] -= pending.popleft()[1]
+        return hot[index] + phits <= self.output_buffer_capacity
 
     def schedule_release(self, cycle: int, phits: int) -> None:
         """Reclaim ``phits`` of output buffer at ``cycle`` (applied lazily).
@@ -190,38 +266,40 @@ class OutputPort:
         """
         self._pending_releases.append((cycle, phits))
 
-    def accept(self, packet: Packet) -> None:
-        """Reserve output-buffer space for a granted packet.
-
-        The transmission itself is scheduled by the router at grant time
-        (its start cycle is fully determined by the crossbar and link
-        timers), so the port only accounts for the buffered phits here.
-        """
-        if not self.buffer_space_for(packet.size_phits):
-            raise RuntimeError("output buffer overflow — allocator must check space first")
-        self.output_buffer_occupancy += packet.size_phits
-        self.packets_forwarded += 1
-
 
 class EjectionPort:
     """Consumption port of one node for one message class (1 phit/cycle)."""
 
+    __slots__ = ("node", "msg_class", "packets_consumed", "phits_consumed",
+                 "_hot", "_hb")
+
     def __init__(self, node: int, msg_class: MessageClass) -> None:
         self.node = node
         self.msg_class = msg_class
-        self.busy_until = 0
         self.packets_consumed = 0
         self.phits_consumed = 0
+        #: hot-state slab slice [busy_until].
+        self._hot: list = [0]
+        self._hb = 0
+
+    def bind_hot_state(self, slab: list, base: int) -> None:
+        slab[base] = self._hot[self._hb]
+        self._hot = slab
+        self._hb = base
+
+    @property
+    def busy_until(self) -> int:
+        return self._hot[self._hb]
 
     def idle_at(self, now: int) -> bool:
-        return self.busy_until <= now
+        return self._hot[self._hb] <= now
 
     def consume(self, packet: Packet, now: int) -> int:
         """Start consuming ``packet``; returns its completion cycle."""
-        if not self.idle_at(now):
+        if self._hot[self._hb] > now:
             raise RuntimeError("ejection port busy")
         done = now + packet.size_phits
-        self.busy_until = done
+        self._hot[self._hb] = done
         self.packets_consumed += 1
         self.phits_consumed += packet.size_phits
         return done

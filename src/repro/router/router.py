@@ -10,6 +10,32 @@ replies.
 One :class:`Router` instance owns the injection queues of its ``p`` attached
 nodes, its network input/output ports, and (for Piggyback routing in a
 Dragonfly) a reference to its group's saturation board.
+
+Hot-path architecture (see DESIGN.md §6)
+----------------------------------------
+The allocator runs every cycle for every active router, so its state is kept
+in flat preallocated per-router slabs (plain lists indexed by small
+integers) instead of object attributes:
+
+* ``_in_state`` — per alloc-input ``[resident, min_ready]`` pairs shared
+  with the :class:`InputPort` objects (``bind_hot_state``);
+* ``_in_busy`` / ``_in_rr`` — input crossbar timers and round-robin VC
+  pointers, owned entirely by the router;
+* ``_out_state`` — per output port ``[xbar_busy, grant_stamp, grants,
+  buf_occ]`` shared with the :class:`OutputPort` objects;
+* ``_credit_free`` — downstream free space per ``(port, vc)``, maintained by
+  the credit mirrors (``BufferOrganization.bind_free_slab``);
+* ``_eject_busy`` — ejection busy timers per ``(node, msg_class)``;
+* ``_inj_free`` — injection buffer free space per ``(node, vc)``.
+
+Forwarding plans are computed once per head packet and cached per
+``(port, vc)`` on the input port (``InputPort.head_plans``), invalidated
+when the head changes (pop).  Within a cycle, allocation iterations after
+the first only rescan inputs that proposed a request in the previous
+iteration: output resources are consumed monotonically within a cycle and
+non-proposing ports' heads are unchanged, so the skip is behaviour-identical
+to the full rescan (the property test in ``tests/test_alloc_equivalence.py``
+checks this against :class:`repro.router.reference.ReferenceRouter`).
 """
 
 from __future__ import annotations
@@ -24,12 +50,17 @@ from ..buffers.fifo import StaticallyPartitionedBuffer
 from ..config import RouterConfig, RoutingConfig
 from ..core.arrangement import VcArrangement
 from ..core.link_types import LinkType, MessageClass
-from ..core.vc_selection import VcSelection
+from ..core.vc_selection import (
+    HighestVc,
+    JoinShortestQueue,
+    LowestVc,
+    VcSelection,
+)
 from ..metrics import ResidentLedger
-from ..packet import Packet
+from ..packet import Packet, RouteKind
 from ..routing.base import CandidateHop, EjectionRequest, RoutingAlgorithm
 from ..topology.base import Topology
-from .allocator import Request, SeparableAllocator
+from .allocator import SeparableAllocator
 from .credits import CreditTracker
 from .ports import EjectionPort, InputPort, OutputPort
 from .saturation import SaturationBoard
@@ -39,6 +70,28 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: sentinel "no deterministic retry time" (asynchronous wake only).
 NEVER = 1 << 62
+
+#: module-level binding of the hot-path route-kind comparison.
+_MINIMAL = RouteKind.MINIMAL
+
+#: inline VC-selection modes (identity-checked against the stock selection
+#: classes; anything else falls back to the generic ``choose`` call).
+_SEL_GENERIC = -1
+_SEL_JSQ = 0
+_SEL_HIGHEST = 1
+_SEL_LOWEST = 2
+
+
+def _selection_mode(selection: VcSelection) -> int:
+    """Inline mode of ``selection`` — only for the exact stock behaviours."""
+    choose = type(selection).choose
+    if choose is JoinShortestQueue.choose:
+        return _SEL_JSQ
+    if choose is HighestVc.choose:
+        return _SEL_HIGHEST
+    if choose is LowestVc.choose:
+        return _SEL_LOWEST
+    return _SEL_GENERIC
 
 
 def make_port_buffer(
@@ -89,6 +142,7 @@ class Router:
         self.on_delivery = on_delivery
         self.on_injection = on_injection
         self.speedup = router_config.speedup
+        self._pipeline_latency = router_config.pipeline_latency
         self.saturation_board: Optional[SaturationBoard] = None
         #: position of this router on its group's saturation board.
         self.saturation_position = -1
@@ -151,6 +205,11 @@ class Router:
         ]
         self.source_queues: List[Deque[Packet]] = [deque() for _ in range(p)]
         self.injection_busy_until: List[int] = [0] * p
+        #: earliest cycle any source-queue head could enter an injection
+        #: buffer (0 = scan needed; reset by enqueue_source).  Purely a
+        #: skip-the-scan gate: a gated cycle is one where the scan would
+        #: provably be a no-op.
+        self._inject_gate = 0
 
         # -- allocator bookkeeping ----------------------------------------------------
         # Allocation inputs: injection ports first, then network ports in
@@ -158,16 +217,94 @@ class Router:
         self._alloc_inputs: List[InputPort] = list(self.injection_ports) + [
             self.input_ports[port] for port in sorted(self.input_ports)
         ]
-        self._output_list: List[OutputPort] = list(self.output_ports.values())
         self.allocator = SeparableAllocator(len(self._alloc_inputs))
         self.resident_packets = 0
+
+        # -- hot-state slabs (see module docstring) -------------------------------
+        n_in = len(self._alloc_inputs)
+        self._n_in = n_in
+        self._in_state: List[int] = [0, 0, -1] * n_in
+        for index, port in enumerate(self._alloc_inputs):
+            port.bind_hot_state(self._in_state, 3 * index)
+        self._in_busy: List[int] = [0] * n_in
+        self._in_rr: List[int] = [0] * n_in
+        #: per alloc-input credit-dependency masks of the recorded per-port
+        #: blocked verdicts, and their union (quick pre-filter for returns).
+        self._pv_masks: List[int] = [0] * n_in
+        self._pv_any_mask = 0
+
+        out_ids = sorted(self.output_ports)
+        lookup = (max(out_ids) + 1) if out_ids else 0
+        self._out_state: List[int] = [0] * (4 * len(out_ids))
+        self._out_base: List[int] = [-1] * lookup
+        self._cfree_base: List[int] = [-1] * lookup
+        self._out_cap: List[int] = [0] * lookup
+        self._out_pending: List[Optional[Deque]] = [None] * lookup
+        self._out_by_port: List[Optional[OutputPort]] = [None] * lookup
+        self._input_by_port: List[Optional[InputPort]] = [None] * lookup
+        self._credit_free: List[int] = [0] * sum(
+            self.output_ports[port].credits.num_vcs for port in out_ids
+        )
+        cfree_base = 0
+        for j, port in enumerate(out_ids):
+            op = self.output_ports[port]
+            op.bind_hot_state(self._out_state, 4 * j)
+            self._out_base[port] = 4 * j
+            self._cfree_base[port] = cfree_base
+            op.credits.mirror.bind_free_slab(self._credit_free, cfree_base)
+            cfree_base += op.credits.num_vcs
+            self._out_cap[port] = op.output_buffer_capacity
+            self._out_pending[port] = op._pending_releases
+            self._out_by_port[port] = op
+            self._input_by_port[port] = self.input_ports[port]
+            op._debit = self._make_debit(op)
+
+        #: per-output-port bitmask over the ``_credit_free`` slab indices,
+        #: used to record which credit returns can unblock a sleeping router.
+        #: DAMQ mirrors share one pool across the port's VCs, so any credit
+        #: of the port can raise any VC's free space and the whole port span
+        #: is recorded; statically partitioned mirrors record the exact
+        #: candidate VC range instead (``None`` here selects that path).
+        self._port_credit_masks: List[int] = [0] * lookup
+        self._port_is_damq: List[bool] = [False] * lookup
+        for port in out_ids:
+            op = self.output_ports[port]
+            span = op.credits.num_vcs
+            self._port_credit_masks[port] = (
+                ((1 << span) - 1) << self._cfree_base[port]
+            )
+            self._port_is_damq[port] = isinstance(op.credits.mirror, DamqBuffer)
+
+        self._eject_flat: List[Optional[EjectionPort]] = [None] * (2 * p)
+        self._eject_busy: List[int] = [0] * (2 * p)
+        for i in range(p):
+            for msg_class in (MessageClass.REQUEST, MessageClass.REPLY):
+                slot = 2 * i + msg_class
+                ejection = self.ejection_ports[i][msg_class]
+                ejection.bind_hot_state(self._eject_busy, slot)
+                self._eject_flat[slot] = ejection
+
+        n_inj_vcs = router_config.num_injection_vcs
+        self._n_inj_vcs = n_inj_vcs
+        self._inj_free: List[int] = [0] * (p * n_inj_vcs)
+        for i, port in enumerate(self.injection_ports):
+            port.buffer.bind_free_slab(self._inj_free, i * n_inj_vcs)
+
+        self._sel_mode = _selection_mode(selection)
+        #: all slab references the allocator needs, bundled so ``_allocate``
+        #: binds them with one attribute load + tuple unpack per call.
+        self._hot_refs = (
+            self._alloc_inputs, self._in_state, self._in_busy, self._in_rr,
+            self._out_state, self._credit_free, self._eject_busy,
+            self._pv_masks,
+        )
 
         # -- activity tracking ---------------------------------------------------------
         #: index assigned by Engine.register_router; -1 until registered.
         self.engine_index = -1
         #: bound active-set insert, installed by Engine.register_router.
         self.engine_activate: Optional[Callable[[int], None]] = None
-        #: O(1) work counters so has_work() never scans queues.
+        #: O(1) work counters so pump() never scans queues when idle.
         self._source_backlog = 0
         self._injection_resident = 0
         #: cycle of the outstanding pipeline-wake event (-1 when none).
@@ -176,9 +313,11 @@ class Router:
         #: a retry could succeed (NEVER = only an async event can unblock),
         #: or -1 when allocation is not known to be blocked.  Reset by wake().
         self._alloc_sleep_until = -1
-        #: cycle at which that pass ran — heads that clear the router
-        #: pipeline later were not part of the verdict and invalidate it.
-        self._alloc_blocked_at = -1
+        #: bitmask over ``_credit_free`` indices the blocked verdict depends
+        #: on: a credit return whose slab bit is set clears the verdict; all
+        #: other credit returns leave the router asleep (they cannot change
+        #: the outcome of the recorded pass).
+        self._blocked_credit_mask = 0
         #: shared network-wide resident-packet counter (see Simulation).
         self.resident_ledger: Optional[ResidentLedger] = None
 
@@ -193,6 +332,15 @@ class Router:
         #: ``hook(router_id, now, retry_cycle)`` fired when a stepped router
         #: with resident packets produces no allocation request.
         self.on_stall: Optional[Callable[[int, int, int], None]] = None
+
+        #: specialized grant/allocation entry points (closures over the
+        #: slabs); the full-rescan ReferenceRouter replaces ``_allocate``
+        #: with its own method but shares the grant executor.
+        self._execute_grant: Callable[[tuple, int], None] = (
+            self._make_grant_executor()
+        )
+        self._allocate: Callable[[int], None] = self._make_allocator()
+        self.pump: Callable[[int], bool] = self._make_pump()
 
     # ------------------------------------------------------------------
     # External interface (wiring and traffic)
@@ -219,14 +367,243 @@ class Router:
             self.engine_activate(self.engine_index)
 
     def receive_network(self, packet: Packet, port: int, vc: int, now: int) -> None:
-        """Deliver a packet arriving from a link into input ``port`` / VC ``vc``."""
-        self.input_ports[port].receive(packet, vc, now)
+        """Deliver a packet arriving from a link into input ``port`` / VC ``vc``.
+
+        An arrival deliberately does *not* clear a recorded allocation
+        blockage: the new head cannot be granted before it clears the router
+        pipeline, so the verdict's expiry is merely clamped down to that
+        cycle (below) and a timed wake re-evaluates exactly then.
+        """
+        self._input_by_port[port].receive(packet, vc, now)
         self.resident_packets += 1
         if self.resident_ledger is not None:
             self.resident_ledger.count += 1
-        self._alloc_sleep_until = -1
+        # A recorded router-level verdict cannot cover this arrival; pull its
+        # expiry forward to the cycle the new head clears the pipeline so the
+        # allocator re-evaluates exactly then.
+        ready = now + self._pipeline_latency
+        blocked = self._alloc_sleep_until
+        if 0 <= blocked and ready < blocked:
+            self._alloc_sleep_until = ready
         if self.engine_activate is not None:
-            self.engine_activate(self.engine_index)
+            if self.saturation_board is None and ready > now:
+                self.engine.schedule_wake(ready, self.engine_index)
+            else:
+                self.engine_activate(self.engine_index)
+
+    def _make_debit(self, op: OutputPort) -> Callable[[int, int, bool], None]:
+        """Fused grant-time credit debit for ``op`` (mirror + ledger + slab).
+
+        Statically partitioned mirrors touch exactly one VC and one
+        free-slab entry, so the whole debit inlines into one closure; DAMQ
+        mirrors keep the generic ``CreditTracker.debit`` path.
+        """
+        tracker = op.credits
+        mirror = tracker.mirror
+        if type(mirror) is not StaticallyPartitionedBuffer:
+            return tracker.debit
+        occupancy = mirror._occupancy
+        capacity = mirror._capacity
+        credit_free = self._credit_free
+        base = self._cfree_base[op.port_id]
+        ledger_vcs = tracker.ledger.per_vc
+
+        def debit(vc: int, phits: int, minimal: bool) -> None:
+            occ = occupancy[vc] + phits
+            if occ > capacity[vc]:
+                mirror.allocate(vc, phits)  # raises the canonical overflow
+            occupancy[vc] = occ
+            credit_free[base + vc] = capacity[vc] - occ
+            split = ledger_vcs[vc]
+            if minimal:
+                split.minimal += phits
+            else:
+                split.nonminimal += phits
+
+        return debit
+
+    def resolve_candidate(self, candidate: CandidateHop) -> tuple:
+        """Burn this router's slab indices into a memoized candidate.
+
+        Returns the allocator's evaluation record ``(out_port, vc_lo, vc_hi,
+        out_state_base, credit_free_base, out_buffer_capacity,
+        pending_releases, credit_fail_mask)``; safe because candidates are
+        memoized per router.
+        """
+        out_port = candidate.out_port
+        lo = candidate.vc_lo
+        hi = candidate.vc_hi
+        cb = self._cfree_base[out_port]
+        if self._port_is_damq[out_port]:
+            fail_mask = self._port_credit_masks[out_port]
+        else:
+            fail_mask = ((1 << (hi - lo + 1)) - 1) << (cb + lo)
+        return (
+            out_port, lo, hi, self._out_base[out_port], cb,
+            self._out_cap[out_port], self._out_pending[out_port], fail_mask,
+        )
+
+    def make_network_receiver(self, port: int) -> Callable[[Packet, int, int], None]:
+        """Flattened per-link delivery callback (``receive_network`` body with
+        the input port pre-bound — one Python frame per arrival instead of
+        two)."""
+        input_port = self._input_by_port[port]
+        pipeline_latency = self._pipeline_latency
+        schedule_wake = self.engine.schedule_wake
+        buffer = input_port.buffer
+        if (type(buffer) is StaticallyPartitionedBuffer
+                and pipeline_latency > 0):
+            # Fused fast path: the entire InputPort.receive body inlines
+            # here (buffer accounting, queue append, hot-slab update),
+            # saving two frames per arrival.  Occupancy-probe dispatch is
+            # read through the port so late probe wiring still works.
+            occupancy = buffer._occupancy
+            capacity = buffer._capacity
+            queues = input_port.queues
+            hot = input_port._hot
+            hb = input_port._hb
+
+            def deliver(packet: Packet, vc: int, now: int) -> None:
+                size = packet.size_phits
+                occ = occupancy[vc] + size
+                if occ > capacity[vc]:
+                    buffer.allocate(vc, size)  # raises the canonical overflow
+                occupancy[vc] = occ
+                packet.current_vc = vc
+                ready = now + pipeline_latency
+                queues[vc].append((packet, ready))
+                resident = hot[hb] + 1
+                hot[hb] = resident
+                if resident == 1 or ready < hot[hb + 1]:
+                    hot[hb + 1] = ready
+                hot[hb + 2] = -1
+                hook = input_port.on_occupancy
+                if hook is not None:
+                    hook(vc, size, occ, now)
+                self.resident_packets += 1
+                ledger = self.resident_ledger
+                if ledger is not None:
+                    ledger.count += 1
+                blocked = self._alloc_sleep_until
+                if 0 <= blocked and ready < blocked:
+                    self._alloc_sleep_until = ready
+                if self.saturation_board is None:
+                    # Nothing this arrival enables can happen before the
+                    # head clears the router pipeline, so wake exactly then
+                    # instead of pumping a guaranteed no-op cycle now.
+                    schedule_wake(ready, self.engine_index)
+                else:
+                    # Piggyback board readers are stepped every cycle while
+                    # packets are pending (time-varying congestion state).
+                    self.engine_activate(self.engine_index)
+
+            return deliver
+
+        receive = input_port.receive
+
+        def deliver(packet: Packet, vc: int, now: int) -> None:
+            receive(packet, vc, now)
+            self.resident_packets += 1
+            ledger = self.resident_ledger
+            if ledger is not None:
+                ledger.count += 1
+            ready = now + pipeline_latency
+            blocked = self._alloc_sleep_until
+            if 0 <= blocked and ready < blocked:
+                self._alloc_sleep_until = ready
+            if self.saturation_board is None and ready > now:
+                # Nothing this arrival enables can happen before the head
+                # clears the router pipeline, so wake exactly then instead
+                # of pumping a guaranteed no-op cycle now.  (An active
+                # router keeps stepping regardless; the extra wake is a
+                # cheap set-insert.)
+                schedule_wake(ready, self.engine_index)
+            else:
+                # Piggyback board readers must be stepped every cycle while
+                # packets are pending (time-varying congestion state);
+                # zero-latency pipelines make the head routable this cycle.
+                self.engine_activate(self.engine_index)
+
+        return deliver
+
+    def make_credit_sink(self, port: int) -> Callable[[int, int, bool], None]:
+        """Credit-return callback for the reverse channel of output ``port``.
+
+        Replaces the generic ``wake`` activity hook: a returning credit only
+        re-activates the router when the recorded allocation blockage
+        actually depends on it (its bit in ``_blocked_credit_mask``).  A
+        router sleeping *without* a verdict has no pipeline-ready head, and a
+        credit cannot create one, so nothing needs to happen then.
+        """
+        tracker = self.output_ports[port].credits
+        mirror = tracker.mirror
+        base = self._cfree_base[port]
+        in_state = self._in_state
+        pv_masks = self._pv_masks
+        n_in = self._n_in
+        if type(mirror) is StaticallyPartitionedBuffer:
+            # Fused fast path: statically partitioned mirrors release into
+            # one VC and refresh one free-slab entry, so the whole return
+            # (mirror + ledger + slab + wake filtering) inlines here.
+            occupancy = mirror._occupancy
+            capacity = mirror._capacity
+            credit_free = self._credit_free
+            ledger_vcs = tracker.ledger.per_vc
+
+            def credit_return(vc: int, phits: int, minimal: bool) -> None:
+                occ = occupancy[vc] - phits
+                if occ < 0:
+                    mirror.release(vc, phits)  # raises the canonical underflow
+                occupancy[vc] = occ
+                credit_free[base + vc] = capacity[vc] - occ
+                split = ledger_vcs[vc]
+                if minimal:
+                    if phits > split.minimal:
+                        raise ValueError(
+                            f"removing {phits} minimal phits but only "
+                            f"{split.minimal} accounted"
+                        )
+                    split.minimal -= phits
+                else:
+                    if phits > split.nonminimal:
+                        raise ValueError(
+                            f"removing {phits} non-minimal phits but only "
+                            f"{split.nonminimal} accounted"
+                        )
+                    split.nonminimal -= phits
+                bit = 1 << (base + vc)
+                if self._pv_any_mask & bit:
+                    # Clear the per-port blocked verdicts that depended on
+                    # this credit so the next pass re-evaluates them.
+                    for index in range(n_in):
+                        if pv_masks[index] & bit:
+                            in_state[3 * index + 2] = -1
+                            pv_masks[index] = 0
+                if (self._alloc_sleep_until >= 0
+                        and (self._blocked_credit_mask >> (base + vc)) & 1):
+                    self._alloc_sleep_until = -1
+                    self.engine_activate(self.engine_index)
+
+            return credit_return
+
+        credit = tracker.credit
+
+        def credit_return(vc: int, phits: int, minimal: bool) -> None:
+            credit(vc, phits, minimal)
+            bit = 1 << (base + vc)
+            if self._pv_any_mask & bit:
+                # Clear the per-port blocked verdicts that depended on this
+                # credit so the next allocation pass re-evaluates them.
+                for index in range(n_in):
+                    if pv_masks[index] & bit:
+                        in_state[3 * index + 2] = -1
+                        pv_masks[index] = 0
+            if (self._alloc_sleep_until >= 0
+                    and (self._blocked_credit_mask >> (base + vc)) & 1):
+                self._alloc_sleep_until = -1
+                self.engine_activate(self.engine_index)
+
+        return credit_return
 
     def enqueue_source(self, packet: Packet, now: int) -> None:
         """Queue a newly generated packet at its source node."""
@@ -238,84 +615,81 @@ class Router:
         packet.created_at = packet.created_at if packet.created_at else now
         self.source_queues[local].append(packet)
         self._source_backlog += 1
+        self._inject_gate = 0
         self.wake()
-
-    def has_work(self) -> bool:
-        """Does stepping this router this cycle have any possible effect?
-
-        A step is a no-op — it touches no state and draws no randomness —
-        when every pending activity is gated on a future cycle: source
-        packets still serializing into their injection buffers, and buffered
-        packets still traversing the router pipeline (granted packets need
-        no stepping at all — their transmission is scheduled as an event at
-        grant time).  All remaining deadlines are known and can only move
-        through events that re-activate this router, so instead of being
-        polled the router sleeps and schedules a wake for the earliest of
-        them.  Skipping the no-op cycles is therefore bit-identical to the
-        polled execution model.
-        """
-        if self.saturation_board is not None:
-            # Piggyback needs fresh saturation bits even while the router is
-            # otherwise idle (outstanding downstream credits keep draining),
-            # and board-reading injection decisions must see every cycle's
-            # state while packets are pending.  A board reader with no global
-            # ports and no pending work steps as a pure no-op, so it may
-            # sleep; arrivals and source enqueues wake it.
-            if (self._saturation_posts or self.resident_packets
-                    or self._injection_resident or self._source_backlog):
-                return True
-            return False
-        now = self.engine.now
-        blocked = self._alloc_sleep_until
-        if blocked >= 0:
-            if blocked <= now:
-                # The deterministic blocker expired.
-                self._alloc_sleep_until = blocked = -1
-            else:
-                # The verdict only covers heads that were routable when it
-                # was recorded; a head that cleared the pipeline since then
-                # was never evaluated and invalidates it.
-                blocked_at = self._alloc_blocked_at
-                for port in self._alloc_inputs:
-                    if (port.resident_packets and port.min_ready <= now
-                            and port.has_head_ready_in(blocked_at, now)):
-                        self._alloc_sleep_until = blocked = -1
-                        break
-        earliest = -1
-        if self.resident_packets or self._injection_resident:
-            for port in self._alloc_inputs:
-                if port.resident_packets:
-                    ready = port.min_ready
-                    if ready <= now:
-                        if blocked < 0:
-                            return True
-                        if blocked < NEVER and (earliest < 0 or blocked < earliest):
-                            earliest = blocked
-                        # Heads behind the blocked one still need a timed
-                        # wake when they clear the pipeline.
-                        upcoming = port.next_head_ready_after(now)
-                        if upcoming >= 0 and (earliest < 0 or upcoming < earliest):
-                            earliest = upcoming
-                    elif earliest < 0 or ready < earliest:
-                        earliest = ready
-        if self._source_backlog:
-            for local in range(self.num_nodes):
-                if self.source_queues[local]:
-                    busy = self.injection_busy_until[local]
-                    if busy <= now:
-                        return True
-                    if earliest < 0 or busy < earliest:
-                        earliest = busy
-        if earliest >= 0 and self._next_wake != earliest:
-            self._next_wake = earliest
-            self.engine.schedule_wake(earliest, self.engine_index)
-        return False
 
     # ------------------------------------------------------------------
     # Per-cycle operation
     # ------------------------------------------------------------------
+    def _make_pump(self) -> Callable[[int], bool]:
+        """Build the merged has_work + step entry point as a closure.
+
+        Returns False (and schedules any needed timed wake) when stepping
+        would be a no-op, exactly like ``has_work``; otherwise performs the
+        cycle's work and returns True.  The engine calls this once per
+        active router per cycle, so the state it reads is prebound.
+        """
+        router = self
+        in_state = self._in_state
+        n_in = self._n_in
+        source_queues = self.source_queues
+        injection_busy_until = self.injection_busy_until
+        num_nodes = self.num_nodes
+        inject_from_sources = self._inject_from_sources
+        schedule_wake = self.engine.schedule_wake
+
+        def pump(now: int) -> bool:
+            if router.saturation_board is not None:
+                if (router._saturation_posts or router.resident_packets
+                        or router._injection_resident or router._source_backlog):
+                    router.step(now)
+                    return True
+                return False
+            blocked = router._alloc_sleep_until
+            if blocked >= 0 and blocked <= now:
+                router._alloc_sleep_until = blocked = -1
+            earliest = -1
+            work = False
+            if router.resident_packets or router._injection_resident:
+                if blocked < 0:
+                    for base in range(0, 3 * n_in, 3):
+                        if in_state[base]:
+                            ready = in_state[base + 1]
+                            if ready <= now:
+                                work = True
+                                break
+                            if earliest < 0 or ready < earliest:
+                                earliest = ready
+                elif blocked < NEVER:
+                    earliest = blocked
+            if not work and router._source_backlog:
+                for local in range(num_nodes):
+                    if source_queues[local]:
+                        busy = injection_busy_until[local]
+                        if busy <= now:
+                            work = True
+                            break
+                        if earliest < 0 or busy < earliest:
+                            earliest = busy
+            if not work:
+                if earliest >= 0 and router._next_wake != earliest:
+                    router._next_wake = earliest
+                    schedule_wake(earliest, router.engine_index)
+                return False
+            # Inlined step() body (saturation-board routers take the step()
+            # call above; plain routers never reach _update_saturation).
+            if router._source_backlog and now >= router._inject_gate:
+                inject_from_sources(now)
+            if router.resident_packets or router._injection_resident:
+                blocked = router._alloc_sleep_until
+                if blocked < 0 or blocked <= now:
+                    router._allocate(now)
+            return True
+
+        return pump
+
     def step(self, now: int) -> None:
-        if self._source_backlog:
+        if self._source_backlog and now >= self._inject_gate:
             self._inject_from_sources(now)
         if self.resident_packets or self._injection_resident:
             blocked = self._alloc_sleep_until
@@ -326,233 +700,454 @@ class Router:
 
     # -- injection --------------------------------------------------------------------
     def _inject_from_sources(self, now: int) -> None:
+        inj_free = self._inj_free
+        n_vcs = self._n_inj_vcs
+        # Probe hook bound once per step, outside the per-node loop.
+        on_injection = self.on_injection
+        #: earliest cycle the next scan could make progress (serialization
+        #: timers; a full injection buffer keeps polling every cycle since
+        #: its space frees through asynchronous allocator grants).
+        gate = NEVER
         for local in range(self.num_nodes):
             queue = self.source_queues[local]
-            if not queue or self.injection_busy_until[local] > now:
+            if not queue:
+                continue
+            busy = self.injection_busy_until[local]
+            if busy > now:
+                if busy < gate:
+                    gate = busy
                 continue
             packet = queue[0]
-            port = self.injection_ports[local]
+            size = packet.size_phits
+            base = local * n_vcs
             best_vc = -1
             best_free = -1
-            for vc in range(port.num_vcs):
-                free = port.buffer.free_for(vc)
-                if free >= packet.size_phits and free > best_free:
+            for vc in range(n_vcs):
+                free = inj_free[base + vc]
+                if free >= size and free > best_free:
                     best_vc, best_free = vc, free
             if best_vc < 0:
+                if now + 1 < gate:
+                    gate = now + 1
                 continue
             queue.popleft()
             self._source_backlog -= 1
             # The packet finishes serializing from the node after size cycles.
-            port.receive(packet, best_vc, now + packet.size_phits)
+            self.injection_ports[local].receive(packet, best_vc, now + size)
+            # Same verdict clamp as receive_network: the injected head
+            # becomes routable after pipeline latency on top of its
+            # serialization, which a recorded verdict cannot know about.
+            ready = now + size + self._pipeline_latency
+            blocked = self._alloc_sleep_until
+            if 0 <= blocked and ready < blocked:
+                self._alloc_sleep_until = ready
             self._injection_resident += 1
-            self.injection_busy_until[local] = now + packet.size_phits
+            self.injection_busy_until[local] = now + size
+            if queue and now + size < gate:
+                gate = now + size
             packet.injected_at = now
             self.packets_injected += 1
-            if self.on_injection is not None:
-                self.on_injection(packet, now)
+            if on_injection is not None:
+                on_injection(packet, now)
+        self._inject_gate = gate
 
     # -- allocation ---------------------------------------------------------------------
-    def _allocate(self, now: int) -> None:
-        """One cycle of iterative input-first separable allocation.
+    def _make_allocator(self) -> Callable[[int], None]:
+        """Build this router's specialized allocation closure.
 
-        The input stage (round-robin VC pick, plan lookup, ejection/credit/
-        output admission) is inlined into this loop: it runs for every active
-        router every cycle, and the flat form saves several Python calls per
-        proposal while remaining check-for-check identical to the layered
-        original.
+        One cycle of iterative input-first separable allocation.  The whole
+        input stage (round-robin VC pick, head-plan lookup, ejection/
+        crossbar/grant-cap/output-buffer/credit admission) and the output
+        stage (one grant per resource under rotating round-robin priority)
+        are inlined over the flat hot-state slabs, which are captured as
+        closure variables so each call binds nothing; requests are plain
+        tuples ``(input_index, input_vc, packet, resource_key, out_vc,
+        candidate)``.  Check-for-check identical to the layered reference
+        implementation in :mod:`repro.router.reference`.
         """
-        self._alloc_sleep_until = -1
-        alloc_inputs = self._alloc_inputs
-        output_ports = self.output_ports
+        router = self
+        (alloc_inputs, in_state, in_busy, in_rr, out_state, credit_free,
+         eject_busy, pv_masks) = self._hot_refs
         speedup = self.speedup
-        router_id = self.router_id
-        # Transit-only routers never eject, so the anchor is never read.
+        sel_mode = self._sel_mode
+        allocator = self.allocator
+        num_inputs = allocator.num_inputs
+        routing_plan = self.routing.plan
+        execute_grant = self._execute_grant
         first_node = self.nodes[0] if self.nodes else 0
-        choose = self.selection.choose
-        rng = self.rng
-        reject_until = NEVER
-        for iteration in range(speedup):
-            requests: List[Request] = []
-            retry = NEVER
-            for index, port in enumerate(alloc_inputs):
-                # Skip empty ports and ports whose every head packet is still
-                # in the router pipeline — the scan below could not find a
-                # packet, so the skip is behaviour-identical but O(1).
-                if port.resident_packets == 0:
-                    continue
-                busy = port.xbar_busy_until
-                if busy > now:
-                    if busy < retry:
-                        retry = busy
-                    continue
-                if port.min_ready > now:
-                    continue
-                # Input stage: pick one requestable head packet (round-robin).
-                num_vcs = port.num_vcs
-                queues = port.queues
-                rr_pointer = port.rr_pointer
-                for offset in range(num_vcs):
-                    vc = rr_pointer + offset
-                    if vc >= num_vcs:
-                        vc -= num_vcs
-                    queue = queues[vc]
-                    if not queue:
+        router_id = self.router_id
+        full_scan = range(self._n_in)
+        #: per alloc-input constants, one list index + unpack per evaluation.
+        port_data = [
+            (port.queues, port.head_plans, port.rr_orders, port.num_vcs,
+             None if port.is_injection else port.link_type,
+             port.is_injection)
+            for port in alloc_inputs
+        ]
+
+        def allocate(now: int) -> None:
+            router._alloc_sleep_until = -1
+            reject_until = NEVER
+            credit_mask = 0
+            # Alloc-input indices to evaluate; iterations after the first
+            # only revisit inputs that proposed (output resources are
+            # consumed monotonically within the cycle, so a port with
+            # nothing requestable stays that way until the next cycle).
+            scan = full_scan
+            for iteration in range(speedup):
+                requests: list = []
+                proposed: list = []
+                retry = NEVER
+                for index in scan:
+                    base = 3 * index
+                    # Skip empty ports and ports whose every head packet is
+                    # still in the router pipeline — the scan below could not
+                    # find a packet, so the skip is behaviour-identical, O(1).
+                    if in_state[base] == 0:
                         continue
-                    packet, ready = queue[0]
-                    if ready > now:
+                    busy = in_busy[index]
+                    if busy > now:
+                        if busy < retry:
+                            retry = busy
                         continue
-                    cache = packet.plan_cache
-                    if cache is not None and cache[0] == router_id and cache[1] == vc:
-                        plan = cache[2]
-                    else:
-                        plan = self._plan_for(port, vc, packet)
-                    request = None
-                    if type(plan) is EjectionRequest:
-                        local = plan.node - first_node
-                        ejection = self.ejection_ports[local][plan.msg_class]
-                        ejection_busy = ejection.busy_until
-                        if ejection_busy > now:
-                            if ejection_busy < reject_until:
-                                reject_until = ejection_busy
+                    min_ready = in_state[base + 1]
+                    if min_ready > now:
+                        # No routable head yet; the fold makes a recorded
+                        # router verdict cover this port's pipeline exit.
+                        if min_ready < reject_until:
+                            reject_until = min_ready
+                        continue
+                    blocked_until = in_state[base + 2]
+                    if blocked_until >= 0:
+                        if now < blocked_until:
+                            # Recorded per-port verdict still holds: nothing
+                            # on this port is requestable before
+                            # ``blocked_until`` or a credit return matching
+                            # its mask (head changes cleared the verdict in
+                            # receive/pop).  Fold its blockers into the
+                            # router-level bookkeeping and skip the scan.
+                            credit_mask |= pv_masks[index]
+                            if blocked_until < reject_until:
+                                reject_until = blocked_until
                             continue
-                        request = Request(
-                            input_index=index,
-                            input_vc=vc,
-                            packet=packet,
-                            resource=("eject", local, plan.msg_class),
-                            candidate=plan,
-                        )
-                    else:
-                        size = packet.size_phits
-                        for candidate in plan:
-                            op = output_ports[candidate.out_port]
-                            out_busy = op.xbar_busy_until
-                            if out_busy > now:
-                                if out_busy < reject_until:
-                                    reject_until = out_busy
+                        in_state[base + 2] = -1
+                    # Input stage: one requestable head packet (round-robin).
+                    (queues, head_plans, rr_orders, num_vcs, input_type,
+                     is_injection) = port_data[index]
+                    request = None
+                    p_retry = NEVER
+                    p_mask = 0
+                    for vc in rr_orders[in_rr[index]]:
+                        queue = queues[vc]
+                        if not queue:
+                            continue
+                        packet, ready = queue[0]
+                        if ready > now:
+                            # Not routable yet: part of the port verdict so
+                            # the head is re-evaluated the cycle it clears.
+                            if ready < p_retry:
+                                p_retry = ready
+                            continue
+                        plan = head_plans[vc]
+                        if plan is None:
+                            # Inlined _plan_for: compute and cache the head's
+                            # forwarding plan on the port.
+                            if is_injection:
+                                plan = routing_plan(router, packet, None, -1)
+                            else:
+                                plan = routing_plan(router, packet, input_type, vc)
+                            head_plans[vc] = plan
+                        if type(plan) is EjectionRequest:
+                            slot = plan.slot
+                            if slot < 0:
+                                # Router-unique: only the destination router
+                                # ever plans an ejection for this pair.
+                                slot = 2 * (plan.node - first_node) + plan.msg_class
+                                plan.slot = slot
+                            ejection_busy = eject_busy[slot]
+                            if ejection_busy > now:
+                                if ejection_busy < p_retry:
+                                    p_retry = ejection_busy
                                 continue
-                            if op.grant_stamp == now and op.grants_this_cycle >= speedup:
-                                if now + 1 < reject_until:
-                                    reject_until = now + 1
-                                continue
-                            if not op.buffer_space_for(size, now):
-                                # Output-buffer reclamations are lazy, not
-                                # wake events: poll again next cycle.
-                                if now + 1 < reject_until:
-                                    reject_until = now + 1
-                                continue
-                            tracker = op.credits
-                            vc_range = candidate.vc_range
-                            candidates: List[int] = []
-                            free: List[int] = []
-                            for out_vc in range(vc_range.lo, vc_range.hi + 1):
-                                space = tracker.free_for(out_vc)
-                                if space >= size:
-                                    candidates.append(out_vc)
-                                    free.append(space)
-                            if not candidates:
-                                continue
-                            request = Request(
-                                input_index=index,
-                                input_vc=vc,
-                                packet=packet,
-                                resource=("out", candidate.out_port),
-                                out_vc=choose(candidates, free, rng),
-                                candidate=candidate,
-                            )
+                            # Ejection resource keys are the (small) negative
+                            # ints, disjoint from the output-port keys.
+                            request = (index, vc, packet, -1 - slot, -1, plan)
+                        else:
+                            size = packet.size_phits
+                            for candidate in plan:
+                                (out_port, lo, hi, ob, cb, cap, pending,
+                                 fail_mask) = candidate.hot
+                                out_busy = out_state[ob]
+                                if out_busy > now:
+                                    if out_busy < p_retry:
+                                        p_retry = out_busy
+                                    continue
+                                if out_state[ob + 1] == now and out_state[ob + 2] >= speedup:
+                                    # Grant cap resets next cycle.
+                                    if now + 1 < p_retry:
+                                        p_retry = now + 1
+                                    continue
+                                occupancy = out_state[ob + 3]
+                                if pending and pending[0][0] <= now:
+                                    # Output-buffer reclamations are lazy,
+                                    # not wake events.
+                                    while pending and pending[0][0] <= now:
+                                        occupancy -= pending.popleft()[1]
+                                    out_state[ob + 3] = occupancy
+                                if occupancy + size > cap:
+                                    # Space can only reappear when the oldest
+                                    # pending reclamation matures.
+                                    release = pending[0][0] if pending else now + 1
+                                    if release < p_retry:
+                                        p_retry = release
+                                    continue
+                                out_vc = -1
+                                if sel_mode == _SEL_JSQ:
+                                    best_free = -1
+                                    for ovc in range(lo, hi + 1):
+                                        free = credit_free[cb + ovc]
+                                        if free >= size and free > best_free:
+                                            out_vc, best_free = ovc, free
+                                elif sel_mode == _SEL_LOWEST:
+                                    for ovc in range(lo, hi + 1):
+                                        if credit_free[cb + ovc] >= size:
+                                            out_vc = ovc
+                                            break
+                                elif sel_mode == _SEL_HIGHEST:
+                                    for ovc in range(hi, lo - 1, -1):
+                                        if credit_free[cb + ovc] >= size:
+                                            out_vc = ovc
+                                            break
+                                else:
+                                    candidates: List[int] = []
+                                    free_list: List[int] = []
+                                    for ovc in range(lo, hi + 1):
+                                        free = credit_free[cb + ovc]
+                                        if free >= size:
+                                            candidates.append(ovc)
+                                            free_list.append(free)
+                                    if candidates:
+                                        out_vc = router.selection.choose(
+                                            candidates, free_list, router.rng
+                                        )
+                                if out_vc < 0:
+                                    # Blocked purely on downstream credits:
+                                    # record which returns could change it.
+                                    p_mask |= fail_mask
+                                    continue
+                                request = (index, vc, packet, out_port, out_vc, candidate)
+                                break
+                        if request is not None:
+                            next_vc = vc + 1
+                            in_rr[index] = 0 if next_vc >= num_vcs else next_vc
+                            requests.append(request)
+                            proposed.append(index)
                             break
-                    if request is not None:
-                        next_vc = vc + 1
-                        port.rr_pointer = 0 if next_vc >= num_vcs else next_vc
-                        requests.append(request)
-                        break
-            if not requests:
-                if iteration == 0:
-                    if reject_until < retry:
-                        retry = reject_until
-                    if self.on_stall is not None:
-                        self.on_stall(router_id, now, retry)
-                    if self.saturation_board is None:
-                        # Nothing was requestable: record the earliest cycle a
-                        # deterministic blocker (crossbar, ejection port, grant
-                        # cap) expires so has_work() can sleep until then; async
-                        # blockers (credits) re-activate the router via wake().
-                        # Piggyback routers are exempt: they are stepped every
-                        # cycle regardless (saturation sensing), and their
-                        # injection decisions read time-varying congestion state,
-                        # so skipping allocation passes would change results.
-                        self._alloc_sleep_until = retry
-                        self._alloc_blocked_at = now
-                break
-            for grant in self.allocator.arbitrate(requests):
-                self._execute_grant(grant, now)
+                    if request is None:
+                        # Record the per-port verdict: skip this port until
+                        # the earliest deterministic blocker expires or a
+                        # matching credit returns (receive/pop clear it on
+                        # head changes).
+                        in_state[base + 2] = p_retry
+                        pv_masks[index] = p_mask
+                        credit_mask |= p_mask
+                        if p_retry < reject_until:
+                            reject_until = p_retry
+                if not requests:
+                    if iteration == 0:
+                        if reject_until < retry:
+                            retry = reject_until
+                        if router.on_stall is not None:
+                            router.on_stall(router_id, now, retry)
+                        if router.saturation_board is None:
+                            # Nothing was requestable: record the earliest
+                            # cycle a deterministic blocker (crossbar,
+                            # ejection port, grant cap) expires so pump()
+                            # can sleep until then; async blockers (credits)
+                            # re-activate the router via the credit sinks.
+                            # Piggyback routers are exempt: they are stepped
+                            # every cycle regardless (saturation sensing),
+                            # and their injection decisions read time-varying
+                            # congestion state, so skipping allocation passes
+                            # would change results.
+                            router._alloc_sleep_until = retry
+                            router._blocked_credit_mask = credit_mask
+                    break
+                # Output stage (inlined separable allocator, identical to
+                # SeparableAllocator.arbitrate): at most one grant per
+                # resource, rotating round-robin priority over input ports.
+                # A network grant leaves the input crossbar busy for at
+                # least one cycle, so only arbitration *losers* and inputs
+                # granted an ejection (which does not use the crossbar) can
+                # re-propose; when neither exists the next scan provably
+                # yields nothing and is skipped.
+                if len(requests) == 1:
+                    allocator._priority = (allocator._priority + 1) % num_inputs
+                    request = requests[0]
+                    execute_grant(request, now)
+                    if request[3] >= 0:
+                        break  # network grant: input crossbar now busy
+                else:
+                    by_resource: dict = {}
+                    for request in requests:
+                        key = request[3]
+                        bucket = by_resource.get(key)
+                        if bucket is None:
+                            by_resource[key] = [request]
+                        else:
+                            bucket.append(request)
+                    priority = allocator._priority
+                    any_eject = False
+                    for bucket in by_resource.values():
+                        winner = bucket[0]
+                        if len(bucket) > 1:
+                            best_rank = (winner[0] - priority) % num_inputs
+                            for contender in bucket:
+                                rank = (contender[0] - priority) % num_inputs
+                                if rank < best_rank:
+                                    best_rank = rank
+                                    winner = contender
+                        if winner[3] < 0:
+                            any_eject = True
+                        execute_grant(winner, now)
+                    allocator._priority = (priority + 1) % num_inputs
+                    if not any_eject and len(by_resource) == len(requests):
+                        break  # no losers: nothing can re-propose this cycle
+                if not router.resident_packets and not router._injection_resident:
+                    # The grants drained the router: the next iteration's
+                    # scan could not find a head, so skipping it is
+                    # behaviour-identical.
+                    break
+                scan = proposed
+            # The union of the live per-port credit masks (iteration 0 visits
+            # every port, so folded skips plus fresh records cover them all).
+            router._pv_any_mask = credit_mask
+
+        return allocate
 
     def _plan_for(self, port: InputPort, vc: int, packet: Packet):
-        cache = packet.plan_cache
-        if cache is not None and cache[0] == self.router_id and cache[1] == vc:
-            return cache[2]
+        """Compute (and cache on the port) the head packet's forwarding plan."""
         input_type = None if port.is_injection else port.link_type
         input_vc = -1 if port.is_injection else vc
         plan = self.routing.plan(self, packet, input_type, input_vc)
-        packet.plan_cache = (self.router_id, vc, plan)
+        port.head_plans[vc] = plan
         return plan
 
-    def _execute_grant(self, grant: Request, now: int) -> None:
-        port = self._alloc_inputs[grant.input_index]
-        packet = grant.packet
-        if isinstance(grant.candidate, EjectionRequest):
-            self._eject(port, grant, now)
-            return
-        candidate: CandidateHop = grant.candidate
-        op = self.output_ports[candidate.out_port]
-        # Integer ceiling of size/speedup (avoids math.ceil + float division).
-        xbar_time = -(-packet.size_phits // self.speedup)
-        if xbar_time < 1:
-            xbar_time = 1
-        # Pop from the input buffer (returns credits upstream for network ports).
-        port.pop(grant.input_vc, now, packet.credit_tag_minimal)
-        if port.is_injection:
-            self._injection_resident -= 1
-        else:
-            self.resident_packets -= 1
-            if self.resident_ledger is not None:
-                self.resident_ledger.count -= 1
-        # Debit downstream credits under the packet's (possibly updated) class.
-        self.routing.on_hop_taken(packet, candidate)
-        minimal_tag = packet.is_minimal
-        op.credits.debit(grant.out_vc, packet.size_phits, minimal_tag)
-        packet.credit_tag_minimal = minimal_tag
-        port.xbar_busy_until = now + xbar_time
-        op.xbar_busy_until = now + xbar_time
-        if op.grant_stamp != now:
-            op.grant_stamp = now
-            op.grants_this_cycle = 0
-        op.grants_this_cycle += 1
-        op.accept(packet)
-        # Transmission timing is fully determined here (FIFO link, known
-        # crossbar and serialization delays), so the send is scheduled now
-        # instead of polling an output queue every cycle: the packet starts
-        # serializing once it has crossed the crossbar and the link is free.
-        link = op.link
-        if link is None:
-            raise RuntimeError(f"output port {op.port_id} of router {self.router_id} "
-                               "has no link attached")
-        start = now + xbar_time
-        if link.busy_until > start:
-            start = link.busy_until
-        tail_out = link.transmit(packet, grant.out_vc, start)
-        op.schedule_release(tail_out, packet.size_phits)
-        if not packet.is_minimal and packet.hops == 1:
-            self.misrouted_packets += 1
-            if self.on_misroute is not None:
-                self.on_misroute(packet, now)
+    def _make_grant_executor(self) -> Callable[[tuple, int], None]:
+        """Build the grant-execution closure (pop, debit, transmit).
 
-    def _eject(self, port: InputPort, grant: Request, now: int) -> None:
-        packet = grant.packet
-        request: EjectionRequest = grant.candidate
-        local = request.node - self.nodes[0]
-        ejection = self.ejection_ports[local][request.msg_class]
-        port.pop(grant.input_vc, now, packet.credit_tag_minimal)
+        All router-local references are captured once; the resident ledger
+        and probe hooks are read through ``router`` because they are wired
+        after construction.
+        """
+        router = self
+        alloc_inputs = self._alloc_inputs
+        out_by_port = self._out_by_port
+        in_busy = self._in_busy
+        out_state = self._out_state
+        speedup = self.speedup
+        schedule_call = self.engine.schedule_call
+        on_hop_taken = self.routing.on_hop_taken
+        router_id = self.router_id
+
+        def execute_grant(grant: tuple, now: int) -> None:
+            index, input_vc, packet, key, out_vc, candidate = grant
+            port = alloc_inputs[index]
+            if key < 0:
+                router._eject(port, input_vc, packet, candidate, now)
+                return
+            ob = candidate.hot[3]
+            op = out_by_port[key]
+            # Integer ceiling of size/speedup (no math.ceil/float division).
+            size = packet.size_phits
+            xbar_time = -(-size // speedup)
+            if xbar_time < 1:
+                xbar_time = 1
+            # -- inlined InputPort.pop (returns credits upstream for network
+            # ports; the credit is tagged with the class the space was
+            # debited under, i.e. *before* on_hop_taken may retag it).
+            port.queues[input_vc].popleft()
+            port.head_plans[input_vc] = None
+            port._buf_release(input_vc, size)
+            hot = port._hot
+            hb = port._hb
+            resident = hot[hb] - 1
+            hot[hb] = resident
+            hot[hb + 2] = -1
+            if resident:
+                min_ready = -1
+                for queue in port.queues:
+                    if queue:
+                        ready = queue[0][1]
+                        if min_ready < 0 or ready < min_ready:
+                            min_ready = ready
+                hot[hb + 1] = min_ready
+            channel = port.credit_channel
+            if channel is not None:
+                schedule_call(
+                    now + channel.latency, channel._deliver,
+                    (input_vc, size, packet.credit_tag_minimal),
+                )
+            hook = port.on_occupancy
+            if hook is not None:
+                hook(input_vc, -size, port.buffer.occupancy(input_vc), now)
+            if port.is_injection:
+                router._injection_resident -= 1
+            else:
+                router.resident_packets -= 1
+                ledger = router.resident_ledger
+                if ledger is not None:
+                    ledger.count -= 1
+            # Routing state update; detour-affecting hops take the generic
+            # path, plain hops inline the counter bumps.
+            if candidate.simple_hop:
+                packet.hops += 1
+                packet.phase_position += 1
+                if candidate.is_global_hop:
+                    packet.phase_global_taken += 1
+            else:
+                on_hop_taken(packet, candidate)
+            # Debit downstream credits under the (possibly updated) class.
+            minimal_tag = packet.route_kind == _MINIMAL
+            op._debit(out_vc, size, minimal_tag)
+            packet.credit_tag_minimal = minimal_tag
+            in_busy[index] = now + xbar_time
+            out_state[ob] = now + xbar_time
+            if out_state[ob + 1] != now:
+                out_state[ob + 1] = now
+                out_state[ob + 2] = 1
+            else:
+                out_state[ob + 2] += 1
+            # Output-buffer admission was checked by the proposal this cycle
+            # and at most one grant per output per iteration can land, so
+            # the space reservation needs no re-check.
+            out_state[ob + 3] += size
+            op.packets_forwarded += 1
+            # Transmission timing is fully determined here (FIFO link, known
+            # crossbar and serialization delays), so the send is scheduled
+            # now instead of polling an output queue every cycle: the packet
+            # starts serializing once it has crossed the crossbar and the
+            # link is free.
+            link = op.link
+            if link is None:
+                raise RuntimeError(f"output port {op.port_id} of router "
+                                   f"{router_id} has no link attached")
+            start = now + xbar_time
+            if link.busy_until > start:
+                start = link.busy_until
+            tail_out = link.transmit(packet, out_vc, start)
+            op.schedule_release(tail_out, size)
+            if not minimal_tag and packet.hops == 1:
+                router.misrouted_packets += 1
+                if router.on_misroute is not None:
+                    router.on_misroute(packet, now)
+
+        return execute_grant
+
+    def _eject(self, port: InputPort, input_vc: int, packet: Packet,
+               request: EjectionRequest, now: int) -> None:
+        ejection = self._eject_flat[request.slot]
+        port.pop(input_vc, now, packet.credit_tag_minimal)
         if port.is_injection:
             self._injection_resident -= 1
         else:
@@ -561,9 +1156,8 @@ class Router:
                 self.resident_ledger.count -= 1
         done = ejection.consume(packet, now)
         packet.delivered_at = done
-        packet.plan_cache = None
         self.packets_delivered += 1
-        self.engine.schedule(done, lambda t, p=packet: self.on_delivery(p, t))
+        self.engine.schedule_call(done, self.on_delivery, (packet, done))
 
     # -- congestion sensing --------------------------------------------------------------------
     def _update_saturation(self) -> None:

@@ -54,6 +54,31 @@ class CandidateHop:
     reaches_intermediate: bool = False
     #: granting this hop abandons the remaining detour (escape fallback).
     abandons_detour: bool = False
+    #: flattened copies of ``vc_range.lo`` / ``vc_range.hi`` so the allocator
+    #: inner loop reads plain ints (filled in ``__post_init__``).
+    vc_lo: int = -1
+    vc_hi: int = -1
+    #: packed router-resolved evaluation record — ``(out_port, vc_lo, vc_hi,
+    #: out_state_base, credit_free_base, out_buffer_capacity,
+    #: pending_releases, credit_fail_mask)``.  Candidates are memoized per
+    #: router (the cache key includes the router id), so the router-local
+    #: slab indices and references can be burned in at construction; the
+    #: allocator then evaluates a candidate with a single attribute load
+    #: plus flat reads.  Filled by RoutingAlgorithm._build_candidate;
+    #: hand-built candidates (tests) keep the 3-field prefix form.
+    hot: tuple = ()
+    #: grant-time fast-path flags: a *simple* hop updates only the packet's
+    #: hop/phase counters, so the router inlines it; detour-affecting hops
+    #: go through RoutingAlgorithm.on_hop_taken.
+    is_global_hop: bool = False
+    simple_hop: bool = False
+
+    def __post_init__(self) -> None:
+        self.vc_lo = self.vc_range.lo
+        self.vc_hi = self.vc_range.hi
+        self.hot = (self.out_port, self.vc_lo, self.vc_hi)
+        self.is_global_hop = self.out_type == LinkType.GLOBAL
+        self.simple_hop = not (self.reaches_intermediate or self.abandons_detour)
 
 
 @dataclass(slots=True)
@@ -62,6 +87,11 @@ class EjectionRequest:
 
     node: int
     msg_class: MessageClass
+    #: flat ejection-port slot on the destination router (``2 * local_node +
+    #: msg_class``), filled lazily by the first allocator evaluation.  Safe to
+    #: cache on this shared memoized object because only the (unique)
+    #: destination router of ``node`` ever plans an ejection for it.
+    slot: int = -1
 
 
 Plan = Union[EjectionRequest, List[CandidateHop]]
@@ -110,6 +140,23 @@ class RoutingAlgorithm(ABC):
         #: plan lists are shared and never mutated), and ejection requests.
         self._plan_memo: dict = {}
         self._ejection_memo: dict = {}
+        #: packed-int plan-memo keys: every component is a small bounded
+        #: non-negative int (after the +1 shifts), so the key packs into one
+        #: integer — int hashing is much cheaper than hashing a 9-tuple.
+        #: Out-of-range phase state (never produced by the canonical
+        #: reference shapes) falls back to tuple keys, which cannot collide
+        #: with ints in the same dict.
+        self._key_routers = topology.num_routers
+        #: hook elision: algorithms that keep the base-class no-op hooks
+        #: (e.g. MIN/VAL never divert in transit) skip the virtual call on
+        #: every plan computation.
+        self._has_injection_hook = (
+            type(self).decide_at_injection is not RoutingAlgorithm.decide_at_injection
+        )
+        self._has_transit_hook = (
+            type(self).maybe_divert_in_transit
+            is not RoutingAlgorithm.maybe_divert_in_transit
+        )
 
     # ------------------------------------------------------------------
     # Decision hooks
@@ -148,9 +195,11 @@ class RoutingAlgorithm(ABC):
             return ejection
 
         if not packet.route_decided:
-            self.decide_at_injection(router, packet)
+            if self._has_injection_hook:
+                self.decide_at_injection(router, packet)
             packet.route_decided = True
-        self.maybe_divert_in_transit(router, packet)
+        if self._has_transit_hook:
+            self.maybe_divert_in_transit(router, packet)
 
         if packet.route_kind == RouteKind.VALIANT and not packet.intermediate_reached:
             if packet.intermediate_router == here:
@@ -178,10 +227,23 @@ class RoutingAlgorithm(ABC):
         # Minimal continuation (MIN packets, and Valiant packets past their
         # intermediate — both take the same minimal path from here): the whole
         # plan is a pure function of this key, so memoize it.
-        key = (
-            here, dst_router, packet.msg_class, input_type, input_vc,
-            packet.phase_offsets, packet.phase_position, packet.phase_global_taken,
-        )
+        phase_local = packet.phase_local
+        phase_global = packet.phase_global
+        phase_position = packet.phase_position
+        phase_global_taken = packet.phase_global_taken
+        if (0 <= phase_local < 16 and 0 <= phase_global < 16
+                and 0 <= phase_position < 32
+                and 0 <= phase_global_taken < 16 and -1 <= input_vc < 15):
+            key = (here * self._key_routers + dst_router) * 2 + packet.msg_class
+            key = key * 3 + (0 if input_type is None else input_type + 1)
+            key = (key * 16 + input_vc + 1) * 16 + phase_local
+            key = ((key * 16 + phase_global) * 32 + phase_position) * 16 \
+                + phase_global_taken
+        else:  # pragma: no cover - beyond any canonical reference shape
+            key = (
+                here, dst_router, packet.msg_class, input_type, input_vc,
+                phase_local, phase_global, phase_position, phase_global_taken,
+            )
         cached = self._plan_memo.get(key)
         if cached is None:
             direct = self._candidate_towards(
@@ -212,11 +274,27 @@ class RoutingAlgorithm(ABC):
         """
         here = router.router_id
         dst_router = packet.dst_router  # resolved by plan() before this point
-        key = (
-            here, target_router, dst_router, packet.msg_class,
-            input_type, input_vc, packet.phase_offsets, packet.phase_position,
-            packet.phase_global_taken, is_detour, abandons_detour,
-        )
+        phase_local = packet.phase_local
+        phase_global = packet.phase_global
+        phase_position = packet.phase_position
+        phase_global_taken = packet.phase_global_taken
+        if (0 <= phase_local < 16 and 0 <= phase_global < 16
+                and 0 <= phase_position < 32
+                and 0 <= phase_global_taken < 16 and -1 <= input_vc < 15):
+            n = self._key_routers
+            key = (here * n + target_router) * n + dst_router
+            key = key * 2 + packet.msg_class
+            key = key * 3 + (0 if input_type is None else input_type + 1)
+            key = (key * 16 + input_vc + 1) * 16 + phase_local
+            key = ((key * 16 + phase_global) * 32 + phase_position) * 16 \
+                + phase_global_taken
+            key = (key * 2 + is_detour) * 2 + abandons_detour
+        else:  # pragma: no cover - beyond any canonical reference shape
+            key = (
+                here, target_router, dst_router, packet.msg_class,
+                input_type, input_vc, phase_local, phase_global,
+                phase_position, phase_global_taken, is_detour, abandons_detour,
+            )
         try:
             return self._candidate_cache[key]
         except KeyError:
@@ -224,6 +302,8 @@ class RoutingAlgorithm(ABC):
                 here, dst_router, packet, target_router, input_type, input_vc,
                 is_detour, abandons_detour,
             )
+            if candidate is not None:
+                candidate.hot = router.resolve_candidate(candidate)
             self._candidate_cache[key] = candidate
             return candidate
 
@@ -241,8 +321,8 @@ class RoutingAlgorithm(ABC):
         out_port = self.route.next_port(here, target_router)
         if out_port is None:
             return None
-        next_router = self.topology.neighbor(here, out_port)
-        out_type = self.topology.link_type(here, out_port)
+        next_router = self.route.neighbor(here, out_port)
+        out_type = self.route.link_type(here, out_port)
         intended = self._intended_remaining(here, packet, target_router, dst_router,
                                             abandons_detour)
         escape = self.route.hop_sequence(next_router, dst_router)
@@ -257,10 +337,10 @@ class RoutingAlgorithm(ABC):
             phase_position=packet.phase_position,
             phase_global_taken=packet.phase_global_taken,
         )
-        vc_range = self.policy.allowed_vcs(ctx)
+        vc_range, kind = self.policy.evaluate(ctx)
         if vc_range is None:
             return None
-        opportunistic = self.policy.hop_kind(ctx) == HopKind.OPPORTUNISTIC
+        opportunistic = kind == HopKind.OPPORTUNISTIC
         reaches_intermediate = (
             is_detour and next_router == packet.intermediate_router
         )
@@ -306,11 +386,12 @@ class RoutingAlgorithm(ABC):
         elif candidate.reaches_intermediate:
             packet.intermediate_reached = True
             self._enter_second_phase(packet)
-        packet.plan_cache = None
+        # No plan-cache invalidation needed here: the hop's grant popped the
+        # packet from its input VC, which cleared the port's head-plan entry.
 
     def _enter_second_phase(self, packet: Packet) -> None:
-        local, global_ = packet.phase_offsets
-        packet.begin_phase((local + self.phase_ref[0], global_ + self.phase_ref[1]))
+        packet.begin_phase((packet.phase_local + self.phase_ref[0],
+                            packet.phase_global + self.phase_ref[1]))
         packet.intermediate_reached = True
 
     # ------------------------------------------------------------------

@@ -33,6 +33,58 @@ from ..topology.base import Topology
 _UNKNOWN = 0xFF
 
 
+class PhaseVcTable:
+    """Precomputed ``(phase_offsets, phase_position, link class) -> VC slot``.
+
+    The distance-based baseline aligns every hop onto a reference-path slot
+    through small integer arithmetic over the packet's phase state
+    (:meth:`repro.core.baseline.DistanceBasedPolicy.slot_for`).  All inputs
+    are tiny bounded integers, so the whole function is enumerated once into
+    a dense flat table and each per-hop evaluation becomes a single indexed
+    lookup.  Inputs outside the enumerated bounds fall back to the closed
+    form (the caller checks :meth:`in_bounds`).
+
+    Index layout (row-major):
+    ``(((((g?*L + lo)*G + go)*T + gt)*P + pos)*2 + has_global_remaining)``
+    with ``g?`` the output link class.
+    """
+
+    #: enumeration bounds: local/global offsets, globals-taken, position.
+    MAX_OFFSET = 8
+    MAX_TAKEN = 8
+    MAX_POSITION = 16
+
+    def __init__(self, slot_fn) -> None:
+        L = G = self.MAX_OFFSET
+        T = self.MAX_TAKEN
+        P = self.MAX_POSITION
+        table: List[int] = []
+        for out_is_global in (0, 1):
+            for lo in range(L):
+                for go in range(G):
+                    for gt in range(T):
+                        for pos in range(P):
+                            for has_global in (0, 1):
+                                table.append(
+                                    slot_fn(out_is_global, lo, go, gt, pos,
+                                            has_global)
+                                )
+        self._table = table
+
+    def in_bounds(self, lo: int, go: int, gt: int, pos: int) -> bool:
+        return (0 <= lo < self.MAX_OFFSET and 0 <= go < self.MAX_OFFSET
+                and 0 <= gt < self.MAX_TAKEN and 0 <= pos < self.MAX_POSITION)
+
+    def lookup(self, out_is_global: int, lo: int, go: int, gt: int,
+               pos: int, has_global: int) -> int:
+        index = out_is_global
+        index = index * self.MAX_OFFSET + lo
+        index = index * self.MAX_OFFSET + go
+        index = index * self.MAX_TAKEN + gt
+        index = index * self.MAX_POSITION + pos
+        return self._table[index * 2 + has_global]
+
+
 class RouteTable:
     """Precomputed minimal next-hop ports and hop-type sequences."""
 
@@ -94,6 +146,28 @@ class RouteTable:
         self._sequences: Tuple[HopSequence, ...] = tuple(sequences)
         self._first_global = first_global
 
+        # Dense adjacency view: neighbor router and link type per
+        # (router, port), so candidate construction never re-derives them
+        # from the topology's arithmetic.
+        max_port = 0
+        port_lists = []
+        for router in range(n):
+            infos = list(topology.ports(router))
+            port_lists.append(infos)
+            for info in infos:
+                if info.port >= max_port:
+                    max_port = info.port + 1
+        self._ports_per_router = max_port
+        neighbor = array("i", [-1]) * (n * max_port)
+        link_types = bytearray(n * max_port)
+        for router, infos in enumerate(port_lists):
+            base = router * max_port
+            for info in infos:
+                neighbor[base + info.port] = info.neighbor
+                link_types[base + info.port] = info.link_type
+        self._neighbor = neighbor
+        self._link_types = bytes(link_types)
+
     # -- queries -------------------------------------------------------------
     @property
     def num_routers(self) -> int:
@@ -115,6 +189,14 @@ class RouteTable:
 
     def distance(self, src: int, dst: int) -> int:
         return len(self._sequences[self._seq_ids[src * self._n + dst]])
+
+    def neighbor(self, router: int, port: int) -> int:
+        """Neighbor router across ``port`` (dense adjacency lookup)."""
+        return self._neighbor[router * self._ports_per_router + port]
+
+    def link_type(self, router: int, port: int) -> LinkType:
+        """Link type of ``port`` (dense adjacency lookup)."""
+        return LinkType(self._link_types[router * self._ports_per_router + port])
 
     def first_global_link(self, src: int, dst: int) -> Optional[Tuple[int, int]]:
         """(owning router, global-port index) of the minimal path's first

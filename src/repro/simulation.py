@@ -42,11 +42,22 @@ def build_topology(config: SimulationConfig) -> Topology:
 
 
 class Simulation:
-    """One complete simulation instance (single seed)."""
+    """One complete simulation instance (single seed).
 
-    def __init__(self, config: SimulationConfig) -> None:
+    ``use_reference_allocator=True`` builds the network with
+    :class:`~repro.router.reference.ReferenceRouter` — the kept-for-test
+    full-rescan allocation pass — instead of the incremental fast path.
+    Results are bit-identical by construction (asserted by
+    ``tests/test_alloc_equivalence.py``); the flag exists for that test and
+    for debugging suspected allocator regressions.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, *, use_reference_allocator: bool = False
+    ) -> None:
         config.validate()
         self.config = config
+        self._use_reference_allocator = use_reference_allocator
         self.rng = random.Random(config.seed)
         self.engine = Engine()
         self.topology = build_topology(config)
@@ -77,8 +88,13 @@ class Simulation:
     # Construction
     # ------------------------------------------------------------------
     def _build_routers(self) -> None:
+        router_class = Router
+        if self._use_reference_allocator:
+            from .router.reference import ReferenceRouter
+
+            router_class = ReferenceRouter
         for router_id in range(self.topology.num_routers):
-            router = Router(
+            router = router_class(
                 router_id=router_id,
                 topology=self.topology,
                 engine=self.engine,
@@ -116,18 +132,15 @@ class Simulation:
                     engine=self.engine,
                     latency=latency,
                     link_type=info.link_type,
-                    deliver=(
-                        lambda packet, vc, now, target=downstream, port=back_port:
-                        target.receive_network(packet, port, vc, now)
-                    ),
+                    deliver=downstream.make_network_receiver(back_port),
                     name=f"{router_id}:{info.port}->{info.neighbor}:{back_port}",
                 )
                 upstream.output_ports[info.port].attach_link(link)
                 channel = CreditChannel(self.engine, latency)
-                channel.connect(
-                    upstream.output_ports[info.port].credits.credit,
-                    on_activity=upstream.wake,
-                )
+                # The sink credits the upstream tracker and re-activates the
+                # upstream router only when its recorded allocation blockage
+                # depends on the returned (port, vc) credit.
+                channel.connect(upstream.make_credit_sink(info.port))
                 downstream.input_ports[back_port].credit_channel = channel
 
     def _attach_saturation_boards(self) -> None:

@@ -13,7 +13,7 @@ from abc import ABC, abstractmethod
 from typing import Iterator, Optional
 
 from ..core.link_types import MessageClass
-from ..packet import Packet
+from ..packet import Packet, _packet_ids
 
 
 class TrafficGenerator(ABC):
@@ -44,6 +44,10 @@ class TrafficGenerator(ABC):
         self._plain_bernoulli = (
             type(self).should_generate is TrafficGenerator.should_generate
         )
+        #: packet-id counter; the TrafficManager replaces this process-global
+        #: fallback with a per-simulation counter so in-process reruns see
+        #: identical pid sequences.
+        self.pid_source = _packet_ids
 
     @abstractmethod
     def destination_for(self, node: int, cycle: int) -> Optional[int]:
@@ -74,6 +78,7 @@ class TrafficGenerator(ABC):
         else:
             random_draw = None
             should = self.should_generate
+        pid_source = self.pid_source
         for node in range(self.num_nodes):
             if random_draw is not None:
                 if random_draw() >= probability:
@@ -89,4 +94,5 @@ class TrafficGenerator(ABC):
                 size_phits=self.packet_size,
                 msg_class=MessageClass.REQUEST,
                 created_at=cycle,
+                pid=next(pid_source),
             )

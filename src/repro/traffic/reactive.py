@@ -10,6 +10,7 @@ request-reply virtual networks of Cray Cascade.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, Optional, Sequence
 
 from ..core.link_types import MessageClass
@@ -46,6 +47,11 @@ class TrafficManager:
         #: set by Session.drain(): no new requests (replies still flow so
         #: in-flight request-reply exchanges can complete).
         self._stopped = False
+        #: per-simulation packet-id counter, shared with the generator so
+        #: request and reply pids interleave deterministically and reruns in
+        #: the same process produce identical pid sequences.
+        self._pids = itertools.count()
+        generator.pid_source = self._pids
 
     # -- generation -------------------------------------------------------------
     def tick(self, cycle: int) -> None:
@@ -90,6 +96,7 @@ class TrafficManager:
                 msg_class=MessageClass.REPLY,
                 created_at=cycle,
                 in_reply_to=packet.pid,
+                pid=next(self._pids),
             )
             self.replies_generated += 1
             self._enqueue(reply, cycle)
