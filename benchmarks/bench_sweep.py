@@ -1,0 +1,306 @@
+"""Sweep-scale wall-clock benchmark: chunked/cached/adaptive vs PR 4 dispatch.
+
+Run directly to (re)generate ``BENCH_sweep.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py             # full report
+    PYTHONPATH=src python benchmarks/bench_sweep.py --rounds 1  # quicker
+    PYTHONPATH=src python benchmarks/bench_sweep.py --check-regression
+
+The workload is the ISSUE 5 reference sweep: the Figure 5 series — uniform
+*and* adversarial traffic (Baseline, DAMQ 75%, the FlexVC arrangements;
+9 series total) x 7 offered loads x 3 seeds at the ``tiny`` scale,
+``workers=4`` — 189 jobs.  The load grid spans both sides of every series'
+saturation knee (uniform saturates around 0.75 offered, adversarial around
+0.4), as the paper's figures do.  Modes measured:
+
+* ``pr4`` — the PR 4 execution strategy re-implemented here: one pool task
+  per job, every job building its topology/route table from scratch.  (It
+  runs on the current tree, so shared-process wins that predate this PR —
+  e.g. the per-process PhaseVcTable — are *included* in the baseline; the
+  reported speedups understate the true improvement over the PR 4 commit.)
+* ``chunked`` — the current default: series-affine chunked dispatch with the
+  per-worker artifact cache.  Bit-identical to ``pr4`` (asserted every run:
+  ``results_identical_to_pr4``).
+* ``adaptive`` — chunked + the saturation cutoff
+  (:class:`~repro.experiments.orchestrator.AdaptiveSettings`): each series
+  stops climbing its load ladder after consecutive saturated points and
+  extrapolates the rest.  Saturated points are the slowest of the sweep, so
+  this is where the large wall-clock factor comes from; the skipped points
+  are provenance-flagged, not silently dropped.
+* ``converge`` — chunked + convergence-window measurement
+  (:class:`~repro.session.ConvergenceSettings`): each executed job measures
+  in batch windows and stops when confidence intervals tighten, capped at
+  the fixed budget.
+* ``adaptive_converge`` — both opt-ins together (the "fast sweep" mode).
+
+``--check-regression`` (the CI perf-smoke gate) re-measures ``pr4``,
+``chunked`` and ``adaptive`` and fails on a >30% drop of the chunked
+throughput or of the self-normalizing chunked/adaptive speedup ratios
+against the committed ``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.figures import oblivious_series
+from repro.experiments.orchestrator import (
+    AdaptiveSettings,
+    SweepSpec,
+    run_jobs,
+)
+from repro.experiments.runner import TINY
+from repro.session import ConvergenceSettings, Session
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: the reference sweep: fig5 series (UN + ADV) x 7 loads x 3 seeds (189 jobs).
+LOADS = (0.3, 0.5, 0.65, 0.8, 0.9, 0.95, 1.0)
+SEEDS = 3
+WORKERS = 4
+
+
+def reference_spec() -> SweepSpec:
+    series = [
+        (f"UN {entry.label}", entry.builder)
+        for entry in oblivious_series(TINY, "uniform")
+    ] + [
+        (f"ADV {entry.label}", entry.builder)
+        for entry in oblivious_series(TINY, "adversarial")
+    ]
+    return SweepSpec(loads=LOADS, seeds=SEEDS, series=series, name="bench_sweep")
+
+
+# ---------------------------------------------------------------------------
+# PR 4 baseline: per-job pool tasks, per-job construction
+# ---------------------------------------------------------------------------
+
+def _pr4_execute_job(job):
+    """The pre-artifact-cache job executor: fresh builds, one job per task."""
+    session = Session(job.config)
+    session.warmup()
+    session.measure()
+    return job.key, session.record()
+
+
+def run_pr4(jobs, workers: int) -> dict:
+    """The PR 4 ``run_jobs`` execution strategy (per-job dispatch)."""
+    results = {}
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except OSError:  # pragma: no cover - restricted environments
+        for job in jobs:
+            key, record = _pr4_execute_job(job)
+            results[key] = record.summary
+        return results
+    try:
+        pending = {executor.submit(_pr4_execute_job, job): job for job in jobs}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                pending.pop(future)
+                key, record = future.result()
+                results[key] = record.summary
+    finally:
+        executor.shutdown()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Measurement harness
+# ---------------------------------------------------------------------------
+
+def _best_of(rounds: int, fn):
+    """Best wall-clock of N rounds; returns (wall_s, last_payload)."""
+    best = float("inf")
+    payload = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        payload = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, payload
+
+
+def _interleaved(rounds: int, modes: dict) -> tuple[dict, dict]:
+    """Best wall per mode over interleaved rounds.
+
+    Interleaving (round-robin over modes, not N back-to-back runs per mode)
+    keeps the comparison fair when the machine's background load drifts over
+    the minutes a full measurement takes.
+    """
+    walls = {name: float("inf") for name in modes}
+    payloads = {}
+    for _ in range(rounds):
+        for name, fn in modes.items():
+            start = time.perf_counter()
+            payloads[name] = fn()
+            walls[name] = min(walls[name], time.perf_counter() - start)
+    return walls, payloads
+
+
+def run_benchmark(rounds: int = 2) -> dict:
+    spec = reference_spec()
+    jobs = spec.expand()
+    total_jobs = len(jobs)
+
+    walls, payloads = _interleaved(rounds, {
+        "pr4": lambda: run_pr4(jobs, WORKERS),
+        "chunked": lambda: run_jobs(jobs, workers=WORKERS),
+        "adaptive": lambda: run_jobs(
+            jobs, workers=WORKERS, adaptive=AdaptiveSettings()
+        ),
+        "converge": lambda: run_jobs(
+            jobs, workers=WORKERS, converge=ConvergenceSettings()
+        ),
+        "adaptive_converge": lambda: run_jobs(
+            jobs,
+            workers=WORKERS,
+            adaptive=AdaptiveSettings(),
+            converge=ConvergenceSettings(),
+        ),
+    })
+    pr4_wall = walls["pr4"]
+    chunked_wall = walls["chunked"]
+    adaptive_wall = walls["adaptive"]
+    converge_wall = walls["converge"]
+    both_wall = walls["adaptive_converge"]
+    pr4_results = payloads["pr4"]
+    chunked_stats = payloads["chunked"]
+    adaptive_stats = payloads["adaptive"]
+    both_stats = payloads["adaptive_converge"]
+    identical = all(
+        dataclasses.asdict(chunked_stats.results[key])
+        == dataclasses.asdict(result)
+        for key, result in pr4_results.items()
+    )
+
+    report = {
+        "sweep": {
+            "series": len(spec.series),
+            "loads": list(LOADS),
+            "seeds": SEEDS,
+            "jobs": total_jobs,
+            "workers": WORKERS,
+            "scale": "tiny",
+            "rounds": rounds,
+        },
+        "pr4_wall_s": round(pr4_wall, 3),
+        "pr4_jobs_per_s": round(total_jobs / pr4_wall, 3),
+        "chunked_wall_s": round(chunked_wall, 3),
+        "chunked_jobs_per_s": round(total_jobs / chunked_wall, 3),
+        "speedup_chunked_vs_pr4": round(pr4_wall / chunked_wall, 2),
+        "results_identical_to_pr4": identical,
+        # A miss is an upper bound on actual construction: series sharing a
+        # topology across distinct network keys are still served by the
+        # registry-level build cache beneath (DESIGN.md §7).
+        "artifact_cache": {
+            "hits": chunked_stats.artifact_hits,
+            "misses": chunked_stats.artifact_misses,
+            "fresh_builds_without_cache": total_jobs,
+        },
+        "adaptive_wall_s": round(adaptive_wall, 3),
+        "speedup_adaptive_vs_pr4": round(pr4_wall / adaptive_wall, 2),
+        "adaptive_points": {
+            "simulated": adaptive_stats.executed,
+            "extrapolated": adaptive_stats.extrapolated,
+        },
+        "converge_wall_s": round(converge_wall, 3),
+        "speedup_converge_vs_pr4": round(pr4_wall / converge_wall, 2),
+        "adaptive_converge_wall_s": round(both_wall, 3),
+        "speedup_adaptive_converge_vs_pr4": round(pr4_wall / both_wall, 2),
+        "adaptive_converge_points": {
+            "simulated": both_stats.executed,
+            "extrapolated": both_stats.extrapolated,
+        },
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# CI regression gate
+# ---------------------------------------------------------------------------
+
+#: entries the gate compares (measured / committed must stay above the
+#: ratio); the speedups are self-normalizing, so they are robust to CI
+#: runners being faster or slower than the reference machine.
+_GATE_ENTRIES = (
+    "chunked_jobs_per_s",
+    "speedup_chunked_vs_pr4",
+    "speedup_adaptive_vs_pr4",
+)
+
+#: generous threshold: shared CI runners are noisy, so only a >30% drop
+#: against the committed BENCH_sweep.json fails.
+_GATE_MIN_RATIO = 0.70
+
+
+def check_regression() -> int:
+    committed = json.loads(OUTPUT.read_text())
+    spec = reference_spec()
+    jobs = spec.expand()
+    total_jobs = len(jobs)
+
+    pr4_wall, _ = _best_of(1, lambda: run_pr4(jobs, WORKERS))
+    chunked_wall, chunked_stats = _best_of(1, lambda: run_jobs(jobs, workers=WORKERS))
+    adaptive_wall, _ = _best_of(
+        1, lambda: run_jobs(jobs, workers=WORKERS, adaptive=AdaptiveSettings())
+    )
+    measured = {
+        "chunked_jobs_per_s": total_jobs / chunked_wall,
+        "speedup_chunked_vs_pr4": pr4_wall / chunked_wall,
+        "speedup_adaptive_vs_pr4": pr4_wall / adaptive_wall,
+    }
+    print(
+        f"pr4 {pr4_wall:.1f}s, chunked {chunked_wall:.1f}s "
+        f"(artifact cache {chunked_stats.artifact_hits} hits / "
+        f"{chunked_stats.artifact_misses} misses), adaptive {adaptive_wall:.1f}s"
+    )
+    failed = False
+    for key in _GATE_ENTRIES:
+        ratio = measured[key] / committed[key]
+        print(f"{key}: measured {measured[key]:.2f} vs committed "
+              f"{committed[key]} (x{ratio:.2f})")
+        if ratio < _GATE_MIN_RATIO:
+            print(f"FAIL: {key} regressed more than "
+                  f"{round((1 - _GATE_MIN_RATIO) * 100)}% vs the committed "
+                  "baseline")
+            failed = True
+    return 1 if failed else 0
+
+
+def main() -> None:
+    if "--check-regression" in sys.argv:
+        sys.exit(check_regression())
+    rounds = 2  # the committed-baseline protocol: best of 2 interleaved
+    if "--rounds" in sys.argv:
+        rounds = max(1, int(sys.argv[sys.argv.index("--rounds") + 1]))
+    report = run_benchmark(rounds=rounds)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    for key in ("pr4_wall_s", "chunked_wall_s", "speedup_chunked_vs_pr4",
+                "results_identical_to_pr4", "adaptive_wall_s",
+                "speedup_adaptive_vs_pr4", "converge_wall_s",
+                "speedup_converge_vs_pr4", "adaptive_converge_wall_s",
+                "speedup_adaptive_converge_vs_pr4"):
+        print(f"{key}: {report[key]}")
+    cache = report["artifact_cache"]
+    print(f"artifact cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(vs {cache['fresh_builds_without_cache']} fresh builds without "
+          "cache)")
+    points = report["adaptive_points"]
+    print(f"adaptive points: {points['simulated']} simulated, "
+          f"{points['extrapolated']} extrapolated")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -142,6 +142,16 @@ class NetworkConfig:
         """Instantiate the described topology through the registry."""
         return TOPOLOGIES.get(self.topology).build(dict(self.params))
 
+    def build_cached(self) -> Topology:
+        """Shared topology instance through the registry's build cache.
+
+        Used by the sweep-scale artifact path
+        (:func:`repro.simulation.build_artifacts`): jobs of the same sweep
+        describe the same immutable graph, so one instance serves all of
+        them.  Use :meth:`build` when a private instance is required.
+        """
+        return TOPOLOGIES.build_cached(self.topology, dict(self.params))
+
     def param(self, name: str, default: Any = None) -> Any:
         """Read one topology parameter (post-translation name)."""
         return dict(self.params).get(name, default)
@@ -320,7 +330,10 @@ class SimulationConfig:
         from .core.feasibility import PathSupport, classify_minimal
         from .core.link_types import reference_vc_requirements_for
 
-        topology = self.network.build()
+        # The check only reads the topology's declared routing shape, so the
+        # registry's shared instance is sufficient — validating every point
+        # of a sweep must not rebuild the graph every time.
+        topology = self.network.build_cached()
         minimal = topology.canonical_minimal_sequence
         algorithm = self.routing.algorithm
         routing_for_check = {"min": "MIN", "val": "VAL", "par": "PAR", "pb": "VAL"}[algorithm]

@@ -42,11 +42,13 @@ class DistanceBasedPolicy(VcPolicy):
     def __init__(self, arrangement: VcArrangement) -> None:
         super().__init__(arrangement)
         # Dense precomputed slot table (see PhaseVcTable): slot_for becomes
-        # a single indexed lookup for in-bounds phase state.  Function-level
+        # a single indexed lookup for in-bounds phase state.  The table is a
+        # pure function of the (static) closed form, so it is built once per
+        # process and shared by every policy instance.  Function-level
         # import: ``repro.routing`` imports ``repro.core`` at module load.
         from ..routing.route_table import PhaseVcTable
 
-        self._slot_table = PhaseVcTable(self._slot_closed_form)
+        self._slot_table = PhaseVcTable.shared(self._slot_closed_form)
         #: interned VcRange singletons per slot VC (ranges here are always
         #: single-VC; construction of the frozen dataclass is not free).
         self._range_cache: dict[int, VcRange] = {}

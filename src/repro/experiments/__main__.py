@@ -28,9 +28,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Sequence
 
 from ..probes import PROBES, make_probes
+from ..session import ConvergenceSettings
 from . import figures, tables, topologies
 from .formatting import render_bar_table, render_series_table
-from .orchestrator import ResultStore, orchestration
+from .orchestrator import (
+    FLUSH_INTERVAL_SECONDS,
+    AdaptiveSettings,
+    ResultStore,
+    orchestration,
+)
 from .runner import SCALES
 
 DEFAULT_STORE = "results/store.json"
@@ -162,9 +168,21 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"expected one of {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
     probes = _parse_probes(args.probes)
-    store = ResultStore(args.store, refresh=args.force)
+    store = ResultStore(
+        args.store, refresh=args.force, flush_interval=args.flush_interval
+    )
+    adaptive = AdaptiveSettings() if args.adaptive else None
+    converge = ConvergenceSettings() if args.converge else None
     status = 0
-    with orchestration(workers=args.workers, store=store, probes=probes):
+    with orchestration(
+        workers=args.workers,
+        store=store,
+        probes=probes,
+        chunk_size=args.chunk_size,
+        adaptive=adaptive,
+        converge=converge,
+        verbose=args.verbose,
+    ):
         for name in args.figures:
             entry = REGISTRY[name]
             scale = args.scale if args.scale is not None else entry.default_scale
@@ -235,6 +253,19 @@ def cmd_inspect(args: argparse.Namespace) -> int:
                 parts.append(f"{cycles} cycles")
             if wall is not None:
                 parts.append(f"{wall}s wall")
+            if provenance.get("extrapolated"):
+                parts.append(
+                    "EXTRAPOLATED from load "
+                    f"{provenance.get('extrapolated_from_load')}"
+                )
+            convergence = provenance.get("convergence")
+            if convergence:
+                state = "converged" if convergence.get("converged") else "unconverged"
+                parts.append(
+                    f"{state} in {convergence.get('windows')} windows "
+                    f"({convergence.get('measured_cycles')} of "
+                    f"{convergence.get('budget_cycles')} budget cycles)"
+                )
             print(f"  provenance: {', '.join(parts)}")
         if record.channels:
             digests = ", ".join(
@@ -290,6 +321,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help=f"JSON result store path (default: {DEFAULT_STORE})")
     run.add_argument("--force", action="store_true",
                      help="ignore cached results (still persists fresh ones)")
+    run.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                     help="jobs per pool task (default: automatic series-"
+                          "affine chunking; 1 = per-job dispatch)")
+    run.add_argument("--adaptive", action="store_true",
+                     help="adaptive sweep scheduling: climb each series' "
+                          "loads low to high and extrapolate past the "
+                          "saturation knee instead of simulating "
+                          "(provenance-flagged; default margins)")
+    run.add_argument("--converge", action="store_true",
+                     help="convergence-window measurement: batch windows "
+                          "until confidence intervals tighten, capped at "
+                          "the fixed cycle budget (results stored under "
+                          "mode-suffixed keys)")
+    run.add_argument("--verbose", action="store_true",
+                     help="stream sweep progress (done/total, cache hits, "
+                          "jobs/sec) to stderr")
+    run.add_argument("--flush-interval", type=float,
+                     default=FLUSH_INTERVAL_SECONDS, metavar="SECONDS",
+                     help="seconds between mid-sweep result-store flushes "
+                          f"(default: {FLUSH_INTERVAL_SECONDS})")
     run.add_argument("--probes", default=None, metavar="P1,P2",
                      help="attach registry probes to every executed point and "
                           "persist their telemetry channels alongside the "

@@ -6,35 +6,67 @@ run.  This module turns that decomposition into infrastructure:
 
 * :class:`SweepSpec` declaratively describes a sweep (series x loads x seeds)
   and expands it into :class:`Job` objects keyed by a stable hash of the
-  complete :class:`~repro.config.SimulationConfig`;
+  complete :class:`~repro.config.SimulationConfig` (plus a coarser
+  :func:`network_key` identifying the job's network+routing substrate);
 * :func:`run_jobs` executes jobs on a backend — a ``ProcessPoolExecutor``
   when ``workers > 1``, serial otherwise — with bit-identical results either
-  way because every job owns its RNG;
+  way because every job owns its RNG.  Jobs are dispatched in *series-affine
+  chunks* (one pool task runs several jobs of the same series back to back),
+  which amortizes pickle/IPC overhead and keeps each worker's
+  :class:`ArtifactCache` hot: topology graphs and route tables are built once
+  per ``network_key`` per worker instead of once per job;
 * :class:`ResultStore` persists results as JSON keyed by config hash, so an
   interrupted sweep resumes from what it already computed instead of
   recomputing, and repeated invocations are served entirely from cache;
-* :func:`orchestration` installs a process-wide context (worker count +
-  store) that the thin wrappers in :mod:`repro.experiments.runner`
-  (``load_sweep``/``run_point``/``max_throughput``) consult, so every figure
-  generator, benchmark and example inherits parallelism and caching without
-  signature changes.
+* opt-in **adaptive scheduling** (:class:`AdaptiveSettings`): each series
+  climbs its load ladder low to high, and once
+  :func:`~repro.router.saturation.is_saturated_point` flags ``cutoff_after``
+  consecutive saturated points the remaining higher loads are recorded as
+  provenance-flagged *extrapolated* RunRecords instead of simulated —
+  saturated points are the slowest of a sweep and past the knee they carry
+  no new information;
+* opt-in **convergence-window measurement**
+  (:class:`~repro.session.ConvergenceSettings`): executed jobs measure in
+  batch windows until confidence intervals tighten, capped at the fixed
+  budget (results are keyed separately in the store — never mixed with
+  fixed-budget runs);
+* :func:`orchestration` installs a process-wide context (worker count,
+  store, chunking/adaptive/convergence modes) that the thin wrappers in
+  :mod:`repro.experiments.runner` (``load_sweep``/``run_point``/
+  ``max_throughput``) consult, so every figure generator, benchmark and
+  example inherits parallelism and caching without signature changes.
+
+Default-mode sweeps (no adaptive, no convergence) are bit-identical to
+per-job dispatch at any worker count and chunk size — chunking and artifact
+reuse are execution-strategy changes only, enforced by
+``tests/test_sweep_scale.py``.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
+import math
 import os
+import sys
 import tempfile
 import time
+import weakref
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, replace
+from functools import lru_cache
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..cache import BoundedLRU
 from ..config import SimulationConfig
 from ..metrics import SimulationResult
 from ..record import RunRecord
+from ..router.saturation import DEFAULT_SATURATION_MARGIN, is_saturated_point
+from ..session import ConvergenceSettings
+from ..simulation import SimulationArtifacts, build_artifacts
 
 ConfigBuilder = Callable[[], SimulationConfig]
 
@@ -44,13 +76,31 @@ ConfigBuilder = Callable[[], SimulationConfig]
 #: provenance).  v1 files are migrated in memory on open — no re-simulation.
 STORE_VERSION = 2
 
-#: minimum seconds between mid-sweep store flushes (resumability vs I/O).
+#: default minimum seconds between mid-sweep store flushes (resumability vs
+#: I/O); per-store override via ``ResultStore(flush_interval=...)``.
 FLUSH_INTERVAL_SECONDS = 5.0
+
+#: store-key marker of adaptive-mode extrapolated records (the full suffix
+#: also hashes the :class:`AdaptiveSettings`, see :func:`_adaptive_key_suffix`).
+#: Extrapolated results never live under the plain config key, so a later
+#: non-adaptive sweep over the same store re-simulates those points instead
+#: of silently serving synthesized data.
+EXTRAPOLATED_KEY_SUFFIX = ":extrapolated"
+
+#: upper bound of the automatic chunk size (resumability granularity: an
+#: interrupted sweep loses at most this many in-flight jobs per worker).
+DEFAULT_MAX_CHUNK_JOBS = 8
 
 
 # ---------------------------------------------------------------------------
 # Config hashing
 # ---------------------------------------------------------------------------
+
+def _hash_payload(payload: dict) -> str:
+    """Stable content hash of a JSON-serializable payload."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
 
 def config_key(config: SimulationConfig) -> str:
     """Stable content hash of a complete simulation configuration.
@@ -58,8 +108,56 @@ def config_key(config: SimulationConfig) -> str:
     Dataclass-derived JSON with sorted keys, so two structurally equal
     configurations (even if built through different code paths) share a key.
     """
-    payload = json.dumps(asdict(config), sort_keys=True, default=str)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+    return _hash_payload(asdict(config))
+
+
+def _network_payload(config_payload: dict) -> dict:
+    """The sub-sections of an ``asdict(config)`` payload a network key hashes.
+
+    Single source of truth for what identifies a job's reusable construction
+    artifacts — :func:`network_key` and ``SweepSpec.expand`` both hash this.
+    """
+    return {
+        "network": config_payload["network"],
+        "routing": config_payload["routing"],
+    }
+
+
+def network_key(config: SimulationConfig) -> str:
+    """Content hash of the configuration's network+routing sub-sections.
+
+    Coarser than :func:`config_key`: jobs differing only in traffic, load,
+    seed or cycle counts share a network key, which is exactly the
+    granularity at which construction artifacts (topology graph, route
+    tables, dense adjacency) are reusable.  A 4-series x 10-load x 5-seed
+    sweep carries ~4 distinct network keys for its 200 jobs, so each worker
+    builds artifacts ~4 times instead of 200.
+    """
+    return _hash_payload(_network_payload(asdict(config)))
+
+
+@lru_cache(maxsize=None)
+def _converge_key_suffix(settings: ConvergenceSettings) -> str:
+    """Store-key suffix isolating convergence-mode results.
+
+    Convergence-window measurement changes the measurement procedure (and
+    thus the summary), so its results must never be served to — or from —
+    fixed-budget sweeps sharing the store.
+    """
+    return ":cw" + _hash_payload(asdict(settings))[:8]
+
+
+@lru_cache(maxsize=None)
+def _adaptive_key_suffix(settings: "AdaptiveSettings") -> str:
+    """Store-key suffix of extrapolated records under given adaptive settings.
+
+    Hashing the settings into the key mirrors :func:`_converge_key_suffix`:
+    an extrapolation is only valid under the margin/cutoff that produced it,
+    so a rerun with e.g. a stricter margin (whose cutoff would not have
+    fired at those loads) must re-decide instead of serving stale
+    synthesized points.
+    """
+    return EXTRAPOLATED_KEY_SUFFIX + ":" + _hash_payload(asdict(settings))[:8]
 
 
 # ---------------------------------------------------------------------------
@@ -74,6 +172,11 @@ class Job:
     to the run; they add telemetry channels to the persisted RunRecord but
     never change the summary (probed runs are summary-identical by the
     zero-cost dispatch design), so the cache key deliberately ignores them.
+
+    ``network_key`` identifies the job's reusable construction artifacts
+    (see :class:`ArtifactCache`); ``converge`` switches the job's
+    measurement to the convergence-window controller, which *does* change
+    the summary and therefore suffixes the store key (:func:`store_key`).
     """
 
     key: str
@@ -82,6 +185,15 @@ class Job:
     seed: int
     config: SimulationConfig
     probes: Tuple[str, ...] = ()
+    network_key: str = ""
+    converge: Optional[ConvergenceSettings] = None
+
+
+def store_key(job: Job) -> str:
+    """Result-store key of a job (config hash, plus measurement-mode suffix)."""
+    if job.converge is None:
+        return job.key
+    return job.key + _converge_key_suffix(job.converge)
 
 
 @dataclass
@@ -107,22 +219,38 @@ class SweepSpec:
             raise ValueError("seeds must be >= 1")
 
     def expand(self) -> List[Job]:
-        """Expand into independent jobs (deterministic order)."""
+        """Expand into independent jobs (deterministic order).
+
+        Hashing works off **one** ``asdict`` serialization pass per series:
+        the base config's payload is converted once and only the load/seed
+        leaves are rewritten per job, instead of re-walking the whole
+        dataclass tree for each of the series x loads x seeds points.  The
+        resulting keys are identical to ``config_key(job.config)`` (asserted
+        by the orchestrator tests); the per-series network key falls out of
+        the same pass.
+        """
         jobs: List[Job] = []
+        probes = tuple(self.probes)
         for label, builder in self.series:
             base = builder()
+            payload = asdict(base)
+            net_key = _hash_payload(_network_payload(payload))
+            traffic_payload = payload["traffic"]
             for load in self.loads:
                 loaded = base.with_load(load)
+                traffic_payload["load"] = loaded.traffic.load
                 for offset in range(self.seeds):
                     config = loaded.with_seed(loaded.seed + offset)
+                    payload["seed"] = config.seed
                     jobs.append(
                         Job(
-                            key=config_key(config),
+                            key=_hash_payload(payload),
                             series=label,
                             load=load,
                             seed=config.seed,
                             config=config,
-                            probes=tuple(self.probes),
+                            probes=probes,
+                            network_key=net_key,
                         )
                     )
         return jobs
@@ -137,7 +265,11 @@ class ResultStore:
 
     The whole store is one file, rewritten atomically (tmp + rename) on
     flush.  ``refresh=True`` turns reads into misses while still persisting
-    new results — the CLI's ``--force``.
+    new results — the CLI's ``--force``.  ``flush_interval`` tunes how often
+    a running sweep checkpoints mid-flight (seconds between periodic
+    flushes); the first write also arms a flush at interpreter exit, so
+    killed sweeps keep their latest completed points while read-only opens
+    (e.g. ``inspect``) never rewrite the file.
 
     Entries are versioned :class:`~repro.record.RunRecord` payloads (store
     format v2).  Opening a v1 file — flat ``SimulationResult`` dicts as
@@ -146,9 +278,15 @@ class ResultStore:
     simulation.
     """
 
-    def __init__(self, path: str, refresh: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        refresh: bool = False,
+        flush_interval: float = FLUSH_INTERVAL_SECONDS,
+    ) -> None:
         self.path = str(path)
         self.refresh = refresh
+        self.flush_interval = float(flush_interval)
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -171,6 +309,32 @@ class ResultStore:
                     self._results = payload.get("results", {})
                 elif version == 1:
                     self._migrate_v1(payload.get("results", {}))
+        self._atexit_registered = False
+
+    def _register_atexit_flush(self) -> None:
+        """Arm a last-resort checkpoint on first write.
+
+        Flushes dirty results when the interpreter exits (including an
+        unhandled KeyboardInterrupt), via a weakref so the registration
+        never keeps the store alive.  Armed only once the store has actually
+        been *written to* — read-only opens (``inspect``, including ones
+        that migrate v1 entries in memory) must never rewrite a file that
+        another process may be appending to.
+        """
+        if self._atexit_registered:
+            return
+        self._atexit_registered = True
+        self_ref = weakref.ref(self)
+
+        def _flush_at_exit() -> None:  # pragma: no cover - exit path
+            store = self_ref()
+            if store is not None:
+                try:
+                    store.flush()
+                except OSError:
+                    pass
+
+        atexit.register(_flush_at_exit)
 
     def _migrate_v1(self, entries: Dict[str, dict]) -> None:
         """Wrap v1 ``{"result": ..., "meta": ...}`` entries into v2 records."""
@@ -196,14 +360,26 @@ class ResultStore:
 
     def get_record(self, key: str) -> Optional[RunRecord]:
         """Full stored record (summary + telemetry channels + provenance)."""
+        return self.get_record_any(key)
+
+    def get_record_any(self, *keys: str) -> Optional[RunRecord]:
+        """First stored record among ``keys``.
+
+        One *logical* lookup: exactly one hit or one miss is counted no
+        matter how many alternative keys are probed (the adaptive scheduler
+        checks a point's plain config key and its extrapolated alias).
+        ``refresh`` mode returns None without touching the counters, as the
+        single-key read always did.
+        """
         if self.refresh:
             return None
-        entry = self._results.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return RunRecord.from_dict(entry["record"])
+        for key in keys:
+            entry = self._results.get(key)
+            if entry is not None:
+                self.hits += 1
+                return RunRecord.from_dict(entry["record"])
+        self.misses += 1
+        return None
 
     def entries(self) -> Iterator[Tuple[str, RunRecord, dict]]:
         """Iterate ``(key, record, meta)`` without touching hit/miss counters."""
@@ -220,6 +396,7 @@ class ResultStore:
         self._results[key] = {"record": record.to_dict(), "meta": meta or {}}
         self.writes += 1
         self._dirty = True
+        self._register_atexit_flush()
 
     def flush(self) -> None:
         if not self._dirty:
@@ -239,6 +416,44 @@ class ResultStore:
 
 
 # ---------------------------------------------------------------------------
+# Per-worker artifact cache
+# ---------------------------------------------------------------------------
+
+class ArtifactCache:
+    """Bounded memo of ``network_key -> SimulationArtifacts`` (one per process).
+
+    Worker processes live for a whole sweep, so jobs of the same series (and
+    of every series sharing a network/routing substrate) reuse one topology
+    graph and one dense route table per worker instead of rebuilding them
+    per job.  Everything cached is immutable after construction, which keeps
+    reuse bit-identical to fresh builds (asserted by the sweep-scale tests).
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self._entries = BoundedLRU(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str, config: SimulationConfig) -> SimulationArtifacts:
+        artifacts = self._entries.get(key)
+        if artifacts is not None:
+            self.hits += 1
+            return artifacts
+        self.misses += 1
+        artifacts = build_artifacts(config, key)
+        self._entries.put(key, artifacts)
+        return artifacts
+
+    def counters(self) -> Tuple[int, int]:
+        return self.hits, self.misses
+
+
+#: the process-local cache ``_execute_job`` consults (one per pool worker;
+#: the parent process uses it too for serial execution).
+_WORKER_ARTIFACTS = ArtifactCache()
+
+
+# ---------------------------------------------------------------------------
 # Execution backends
 # ---------------------------------------------------------------------------
 
@@ -248,19 +463,51 @@ def _execute_job(job: Job) -> Tuple[str, RunRecord]:
     Runs the job through the phased Session API so probe names on the job
     yield telemetry channels in the returned :class:`RunRecord`; without
     probes the session is wiring-free and bit-identical to the legacy
-    one-shot runner.
+    one-shot runner.  Construction artifacts come from the process-local
+    :class:`ArtifactCache`; jobs carrying convergence settings measure via
+    :meth:`~repro.session.Session.measure_converged` instead of one fixed
+    window.
     """
     from ..probes import make_probes
     from ..session import Session
+    from ..simulation import Simulation
 
-    session = Session(job.config, probes=make_probes(job.probes))
+    artifacts = _WORKER_ARTIFACTS.get(
+        job.network_key or network_key(job.config), job.config
+    )
+    simulation = Simulation(job.config, artifacts=artifacts)
+    session = Session(simulation=simulation, probes=make_probes(job.probes))
     session.warmup()
-    session.measure()
+    if job.converge is not None:
+        session.measure_converged(job.converge)
+    else:
+        session.measure()
     return job.key, session.record()
 
 
+def _execute_chunk(
+    jobs: Sequence[Job],
+) -> Tuple[List[Tuple[str, RunRecord]], Tuple[int, int]]:
+    """Run a series-affine chunk of jobs in this process, one after another.
+
+    Returns the per-job records in order plus the chunk's artifact-cache
+    ``(hits, misses)`` delta, so the parent can report how much construction
+    work the cache absorbed.
+    """
+    hits_before, misses_before = _WORKER_ARTIFACTS.counters()
+    records = [_execute_job(job) for job in jobs]
+    hits_after, misses_after = _WORKER_ARTIFACTS.counters()
+    return records, (hits_after - hits_before, misses_after - misses_before)
+
+
 class SerialBackend:
-    """Run jobs one after another in this process."""
+    """Run jobs one after another in this process.
+
+    Kept (with :class:`ProcessPoolBackend`) as the public per-job execution
+    API; :func:`run_jobs` itself dispatches through the chunk executors
+    below.  The backend-vs-chunked equivalence is part of the bit-identity
+    test surface.
+    """
 
     def run(self, jobs: Sequence[Job], on_result: Callable[[Job, RunRecord], None]) -> None:
         for job in jobs:
@@ -299,9 +546,259 @@ class ProcessPoolBackend:
             executor.shutdown()
 
 
-def make_backend(workers: Optional[int]):
-    workers = int(workers or 1)
-    return ProcessPoolBackend(workers) if workers > 1 else SerialBackend()
+# -- chunk executors ---------------------------------------------------------
+#
+# The chunk executors support *incremental* submission (the adaptive
+# scheduler submits a series' next load step only after judging the previous
+# one), which the fire-and-forget backend API above cannot express.
+
+class _SerialChunkExecutor:
+    """Chunk execution in this process; lazily runs on ``next_completed``."""
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def submit(self, chunk: Sequence[Job]) -> None:
+        self._queue.append(tuple(chunk))
+
+    def pending(self) -> bool:
+        return bool(self._queue)
+
+    def next_completed(self):
+        chunk = self._queue.popleft()
+        return chunk, _execute_chunk(chunk)
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _PoolChunkExecutor:
+    """Chunk execution on a process pool, drained one chunk at a time."""
+
+    def __init__(self, executor: ProcessPoolExecutor) -> None:
+        self._executor = executor
+        self._futures: Dict[object, Tuple[Job, ...]] = {}
+        self._done: deque = deque()
+
+    def submit(self, chunk: Sequence[Job]) -> None:
+        chunk = tuple(chunk)
+        self._futures[self._executor.submit(_execute_chunk, chunk)] = chunk
+
+    def pending(self) -> bool:
+        return bool(self._futures) or bool(self._done)
+
+    def next_completed(self):
+        if not self._done:
+            done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                self._done.append((self._futures.pop(future), future))
+        chunk, future = self._done.popleft()
+        return chunk, future.result()
+
+    def shutdown(self) -> None:
+        # On the normal path nothing is pending; on interrupt, don't block
+        # on in-flight chunks whose results would be discarded anyway, and
+        # drop queued ones so workers wind down promptly.
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _make_chunk_executor(workers: int):
+    if workers > 1:
+        try:
+            return _PoolChunkExecutor(ProcessPoolExecutor(max_workers=workers))
+        except OSError:  # pragma: no cover - environment-dependent
+            pass
+    return _SerialChunkExecutor()
+
+
+def _chunk_pending(
+    pending: Sequence[Job], chunk_size: Optional[int], workers: int
+) -> List[List[Job]]:
+    """Group pending jobs into series-affine chunks.
+
+    Jobs of one chunk always belong to one series (identical network key),
+    so a worker executing the chunk builds its artifacts at most once.  The
+    automatic size balances IPC amortization against load balance and
+    resumability: roughly four chunks per worker, capped at
+    :data:`DEFAULT_MAX_CHUNK_JOBS` jobs.
+    """
+    by_series: Dict[str, List[Job]] = {}
+    for job in pending:
+        by_series.setdefault(job.series, []).append(job)
+    size = chunk_size
+    if size is None or size <= 0:
+        size = max(
+            1,
+            min(
+                DEFAULT_MAX_CHUNK_JOBS,
+                math.ceil(len(pending) / (max(1, workers) * 4)),
+            ),
+        )
+    chunks: List[List[Job]] = []
+    for series_jobs in by_series.values():
+        for start in range(0, len(series_jobs), size):
+            chunks.append(series_jobs[start:start + size])
+    # Heaviest chunks first (longest-processing-time heuristic): high-load
+    # points cost the most wall clock, so scheduling them early shortens the
+    # straggler tail on multi-core pools.  Submission order never affects
+    # results — jobs are independent and keyed by content hash.
+    chunks.sort(key=lambda chunk: -max(job.load for job in chunk))
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Adaptive scheduling
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AdaptiveSettings:
+    """Saturation cutoff of the adaptive sweep scheduler (opt-in).
+
+    Each series is processed low load to high.  After every completed
+    ``(series, load)`` point the seed-averaged summary is judged by
+    :func:`~repro.router.saturation.is_saturated_point` with ``margin``;
+    once ``cutoff_after`` *consecutive* points are saturated, all remaining
+    higher loads of that series are recorded as extrapolated copies of the
+    last simulated point (see :meth:`repro.record.RunRecord.extrapolate`)
+    instead of simulated.  Extrapolated records are stored under a suffixed
+    key (:data:`EXTRAPOLATED_KEY_SUFFIX`), so they never masquerade as
+    simulated results in later non-adaptive runs.
+    """
+
+    cutoff_after: int = 2
+    margin: float = DEFAULT_SATURATION_MARGIN
+
+    def __post_init__(self) -> None:
+        if self.cutoff_after < 1:
+            raise ValueError("cutoff_after must be >= 1")
+        if not 0.0 <= self.margin < 1.0:
+            raise ValueError("margin must be in [0, 1)")
+
+
+class _SeriesPlan:
+    """Per-series load ladder the adaptive scheduler walks bottom-up."""
+
+    def __init__(self, series: str, jobs: Sequence[Job]) -> None:
+        self.series = series
+        by_load: Dict[float, List[Job]] = {}
+        for job in jobs:
+            by_load.setdefault(job.load, []).append(job)
+        #: (load, jobs-at-load) in ascending load order.
+        self.steps: List[Tuple[float, List[Job]]] = sorted(by_load.items())
+        self.index = 0
+        self.consecutive_saturated = 0
+        #: jobs of the current step still executing (the step is judged only
+        #: once every seed's result is in).
+        self.outstanding = 0
+        #: seed -> (summary, config key) of the last evaluated (hence
+        #: simulated/cached) step, the extrapolation base once the cutoff
+        #: fires.
+        self.last_summaries: Dict[int, SimulationResult] = {}
+        self.last_keys: Dict[int, str] = {}
+        self.last_load: Optional[float] = None
+
+    def remaining_jobs(self) -> List[Job]:
+        return [job for _, jobs in self.steps[self.index:] for job in jobs]
+
+
+def _run_adaptive(
+    executor,
+    unique_jobs: Sequence[Job],
+    results: Dict[str, SimulationResult],
+    settings: AdaptiveSettings,
+    on_result: Callable[[Job, RunRecord], None],
+    on_artifact_stats: Callable[[int, int], None],
+) -> None:
+    """Drive per-series load ladders with a saturation cutoff.
+
+    Series advance independently (parallelism across series); within one
+    series each load step — all of its seeds, one chunk — must complete
+    before the next is submitted, because the next submission *is* the
+    scheduling decision.
+    """
+    from ..simulation import average_results
+
+    by_series: Dict[str, List[Job]] = {}
+    for job in unique_jobs:
+        by_series.setdefault(job.series, []).append(job)
+    plans = {
+        series: _SeriesPlan(series, jobs) for series, jobs in by_series.items()
+    }
+
+    def extrapolate_remaining(plan: _SeriesPlan) -> None:
+        base_load = plan.last_load
+        for job in plan.remaining_jobs():
+            if job.key in results:
+                # Already resolved (served from a previous sweep's store
+                # entry — simulated or extrapolated): nothing to synthesize.
+                continue
+            source_summary = plan.last_summaries.get(job.seed)
+            source_key = plan.last_keys.get(job.seed)
+            if source_summary is None:  # degenerate: no same-seed base
+                source_summary = next(iter(plan.last_summaries.values()))
+                source_key = next(iter(plan.last_keys.values()), None)
+            source = RunRecord.from_summary(source_summary, config_key=source_key)
+            record = RunRecord.extrapolate(
+                source,
+                offered_load=job.load,
+                extra_provenance={
+                    "config_key": job.key,
+                    "adaptive": {
+                        "cutoff_after": settings.cutoff_after,
+                        "margin": settings.margin,
+                        "base_load": base_load,
+                    },
+                },
+            )
+            on_result(job, record)
+        plan.index = len(plan.steps)
+
+    def advance(plan: _SeriesPlan) -> None:
+        # Re-entrancy: advance() only runs when the plan has nothing in
+        # flight (plan.outstanding == 0) — either initially or after the
+        # last job of its current step completed.
+        while plan.index < len(plan.steps):
+            if (
+                plan.consecutive_saturated >= settings.cutoff_after
+                and plan.last_summaries
+            ):
+                extrapolate_remaining(plan)
+                return
+            load, step_jobs = plan.steps[plan.index]
+            missing = [job for job in step_jobs if job.key not in results]
+            if missing:
+                # One task per job: the seeds of a step are independent, so
+                # they spread across the pool even for single-series sweeps;
+                # only the judge-then-continue decision is a barrier.
+                for job in missing:
+                    executor.submit([job])
+                plan.outstanding = len(missing)
+                return
+            # Step fully resolved (simulated or cached): judge saturation.
+            summaries = [results[job.key] for job in step_jobs]
+            point = average_results(summaries)
+            if is_saturated_point(point, settings.margin):
+                plan.consecutive_saturated += 1
+            else:
+                plan.consecutive_saturated = 0
+            plan.last_summaries = {
+                job.seed: results[job.key] for job in step_jobs
+            }
+            plan.last_keys = {job.seed: job.key for job in step_jobs}
+            plan.last_load = load
+            plan.index += 1
+
+    for plan in plans.values():
+        advance(plan)
+    while executor.pending():
+        chunk, (records, artifact_stats) = executor.next_completed()
+        on_artifact_stats(*artifact_stats)
+        for job, (_, record) in zip(chunk, records):
+            on_result(job, record)
+        plan = plans[chunk[0].series]
+        plan.outstanding -= 1
+        if plan.outstanding == 0:
+            advance(plan)
 
 
 # ---------------------------------------------------------------------------
@@ -316,6 +813,14 @@ class OrchestrationContext:
     store: Optional[ResultStore] = None
     #: probe registry names attached to every executed (non-cached) job.
     probes: Tuple[str, ...] = ()
+    #: jobs per pool task (None = automatic; 1 = per-job dispatch).
+    chunk_size: Optional[int] = None
+    #: saturation-cutoff scheduling (None = off: simulate every point).
+    adaptive: Optional[AdaptiveSettings] = None
+    #: convergence-window measurement (None = off: one fixed window).
+    converge: Optional[ConvergenceSettings] = None
+    #: stream progress/cache-hit lines to stderr while sweeping.
+    verbose: bool = False
 
 
 _CONTEXT_STACK: List[OrchestrationContext] = [OrchestrationContext()]
@@ -330,6 +835,10 @@ def orchestration(
     workers: int = 1,
     store: Optional[ResultStore | str] = None,
     probes: Sequence[str] = (),
+    chunk_size: Optional[int] = None,
+    adaptive: Optional[AdaptiveSettings] = None,
+    converge: Optional[ConvergenceSettings] = None,
+    verbose: bool = False,
 ) -> Iterator[OrchestrationContext]:
     """Install parallel/caching defaults for every sweep run inside the block.
 
@@ -337,11 +846,19 @@ def orchestration(
     flushed on exit).  ``probes`` names registry probes attached to every job
     executed inside the block (cached points are still served from the store
     without telemetry — use ``refresh``/``--force`` to re-run them probed).
+    ``chunk_size``, ``adaptive`` and ``converge`` select the sweep-scale
+    execution modes documented on :func:`run_jobs`.
     """
     if isinstance(store, str):
         store = ResultStore(store)
     context = OrchestrationContext(
-        workers=max(1, int(workers)), store=store, probes=tuple(probes)
+        workers=max(1, int(workers)),
+        store=store,
+        probes=tuple(probes),
+        chunk_size=chunk_size,
+        adaptive=adaptive,
+        converge=converge,
+        verbose=verbose,
     )
     _CONTEXT_STACK.append(context)
     try:
@@ -357,6 +874,199 @@ def orchestration(
 # ---------------------------------------------------------------------------
 
 @dataclass
+class JobRunStats:
+    """Everything :func:`run_jobs` produced and counted.
+
+    Iterates as the historical ``(results, cache_hits, executed)`` triple,
+    so existing ``results, hits, executed = run_jobs(...)`` call sites keep
+    working unchanged.
+    """
+
+    results: Dict[str, SimulationResult]
+    cache_hits: int = 0
+    executed: int = 0
+    #: adaptive-mode points recorded by extrapolation instead of simulation.
+    extrapolated: int = 0
+    #: artifact-cache hits/misses accumulated across all workers.
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    elapsed_s: float = 0.0
+
+    def __iter__(self):
+        return iter((self.results, self.cache_hits, self.executed))
+
+
+class _ProgressReporter:
+    """Throttled ``done/total`` + cache accounting lines on stderr."""
+
+    def __init__(self, total: int, stats: JobRunStats, min_interval: float = 1.0):
+        self.total = total
+        self.stats = stats
+        self.min_interval = min_interval
+        self.start = time.monotonic()
+        self._last_print = 0.0
+
+    def update(self, final: bool = False) -> None:
+        now = time.monotonic()
+        if not final and now - self._last_print < self.min_interval:
+            return
+        self._last_print = now
+        stats = self.stats
+        done = stats.cache_hits + stats.executed + stats.extrapolated
+        elapsed = max(now - self.start, 1e-9)
+        simulated_rate = stats.executed / elapsed
+        print(
+            f"[sweep] {done}/{self.total} points | {stats.executed} simulated, "
+            f"{stats.cache_hits} cached, {stats.extrapolated} extrapolated | "
+            f"artifact cache {stats.artifact_hits} hits / "
+            f"{stats.artifact_misses} misses | {simulated_rate:.2f} jobs/s",
+            file=sys.stderr,
+        )
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[Job, SimulationResult], None]] = None,
+    chunk_size: Optional[int] = None,
+    adaptive: Optional[AdaptiveSettings] = None,
+    converge: Optional[ConvergenceSettings] = None,
+    verbose: Optional[bool] = None,
+) -> JobRunStats:
+    """Execute jobs, serving duplicates and stored results from cache.
+
+    Returns a :class:`JobRunStats` (unpacks as the historical
+    ``(results_by_key, cache_hits, executed)`` triple).  All parameters
+    default to the active :func:`orchestration` context.
+
+    Execution is chunked: pending jobs are grouped into series-affine chunks
+    (``chunk_size`` jobs per pool task; automatic when None) so each worker
+    builds construction artifacts once per network key and per-job IPC is
+    amortized.  Results still stream to the result store per completed
+    chunk, and the store is flushed on interrupt, so a killed sweep resumes
+    from its latest completed points.
+
+    ``adaptive`` enables the saturation cutoff (see
+    :class:`AdaptiveSettings`); ``converge`` switches executed jobs to
+    convergence-window measurement (stored under mode-suffixed keys).  Both
+    are off by default, keeping default sweeps bit-identical to per-job
+    dispatch at any worker count.
+    """
+    context = current_context()
+    if workers is None:
+        workers = context.workers
+    if store is None:
+        store = context.store
+    if chunk_size is None:
+        chunk_size = context.chunk_size
+    if adaptive is None:
+        adaptive = context.adaptive
+    if converge is None:
+        converge = context.converge
+    if verbose is None:
+        verbose = context.verbose
+
+    # Dedup and normalize: context probes/convergence apply to every job
+    # that does not carry its own (probes never change keys; convergence
+    # does, via the store-key suffix, so it must land before cache lookup).
+    unique: List[Job] = []
+    seen_keys: set = set()
+    for job in jobs:
+        if job.key in seen_keys:
+            continue
+        seen_keys.add(job.key)
+        if not job.probes and context.probes:
+            job = replace(job, probes=context.probes)
+        if converge is not None and job.converge is None:
+            job = replace(job, converge=converge)
+        unique.append(job)
+
+    stats = JobRunStats(results={})
+    results = stats.results
+    pending: List[Job] = []
+    for job in unique:
+        cached = None
+        if store is not None:
+            keys = [store_key(job)]
+            if adaptive is not None:
+                # A previous adaptive sweep under the *same settings* may
+                # have extrapolated this point.
+                keys.append(store_key(job) + _adaptive_key_suffix(adaptive))
+            record = store.get_record_any(*keys)
+            cached = None if record is None else record.summary
+        if cached is not None:
+            results[job.key] = cached
+            stats.cache_hits += 1
+        else:
+            pending.append(job)
+
+    reporter = _ProgressReporter(total=len(unique), stats=stats) if verbose else None
+    start_time = time.monotonic()
+    flush_interval = (
+        store.flush_interval if store is not None else FLUSH_INTERVAL_SECONDS
+    )
+    last_flush = time.monotonic()
+
+    def on_result(job: Job, record: RunRecord) -> None:
+        nonlocal last_flush
+        results[job.key] = record.summary
+        if record.is_extrapolated:
+            stats.extrapolated += 1
+        else:
+            stats.executed += 1
+        if store is not None:
+            key = store_key(job)
+            meta = {"series": job.series, "load": job.load, "seed": job.seed}
+            if record.is_extrapolated:
+                # Only the adaptive scheduler synthesizes records, so the
+                # settings-hashed suffix is always resolvable here.
+                key += _adaptive_key_suffix(adaptive)
+                meta["extrapolated"] = True
+            store.put_record(key, record, meta=meta)
+            # Periodic flush keeps interrupted sweeps resumable without
+            # rewriting the whole store once per completed job.
+            now = time.monotonic()
+            if now - last_flush >= flush_interval:
+                store.flush()
+                last_flush = now
+        if progress is not None:
+            progress(job, record.summary)
+        if reporter is not None:
+            reporter.update()
+
+    def on_artifact_stats(hits: int, misses: int) -> None:
+        stats.artifact_hits += hits
+        stats.artifact_misses += misses
+
+    executor = _make_chunk_executor(int(workers or 1))
+    try:
+        if adaptive is not None:
+            _run_adaptive(
+                executor, unique, results, adaptive, on_result, on_artifact_stats
+            )
+        else:
+            for chunk in _chunk_pending(pending, chunk_size, int(workers or 1)):
+                executor.submit(chunk)
+            while executor.pending():
+                chunk, (records, artifact_stats) = executor.next_completed()
+                on_artifact_stats(*artifact_stats)
+                for job, (_, record) in zip(chunk, records):
+                    on_result(job, record)
+    finally:
+        # Interrupts (KeyboardInterrupt included) land here: persist every
+        # completed point *first* — the flush must not depend on how long
+        # worker teardown takes or on a second interrupt arriving during it.
+        if store is not None:
+            store.flush()
+        executor.shutdown()
+    stats.elapsed_s = time.monotonic() - start_time
+    if reporter is not None:
+        reporter.update(final=True)
+    return stats
+
+
+@dataclass
 class SweepOutcome:
     """Everything a sweep produced, plus cache accounting."""
 
@@ -367,6 +1077,11 @@ class SweepOutcome:
     jobs: List[Job]
     cache_hits: int = 0
     executed: int = 0
+    #: adaptive-mode points extrapolated instead of simulated.
+    extrapolated: int = 0
+    #: construction-artifact cache accounting (summed over workers).
+    artifact_hits: int = 0
+    artifact_misses: int = 0
 
     def seed_results(self, series: str, load: float) -> List[SimulationResult]:
         """Per-seed results of one point, in seed order."""
@@ -392,77 +1107,35 @@ class SweepOutcome:
         return seen
 
 
-def run_jobs(
-    jobs: Sequence[Job],
-    workers: Optional[int] = None,
-    store: Optional[ResultStore] = None,
-    progress: Optional[Callable[[Job, SimulationResult], None]] = None,
-) -> Tuple[Dict[str, SimulationResult], int, int]:
-    """Execute jobs, serving duplicates and stored results from cache.
-
-    Returns ``(results_by_key, cache_hits, executed)``.  ``workers`` and
-    ``store`` default to the active :func:`orchestration` context.
-    """
-    context = current_context()
-    if workers is None:
-        workers = context.workers
-    if store is None:
-        store = context.store
-
-    results: Dict[str, SimulationResult] = {}
-    cache_hits = 0
-    pending: List[Job] = []
-    seen_keys: set = set()
-    for job in jobs:
-        if job.key in seen_keys:
-            continue
-        seen_keys.add(job.key)
-        cached = store.get(job.key) if store is not None else None
-        if cached is not None:
-            results[job.key] = cached
-            cache_hits += 1
-        else:
-            if not job.probes and context.probes:
-                job = replace(job, probes=context.probes)
-            pending.append(job)
-
-    last_flush = time.monotonic()
-
-    def on_result(job: Job, record: RunRecord) -> None:
-        nonlocal last_flush
-        results[job.key] = record.summary
-        if store is not None:
-            store.put_record(
-                job.key,
-                record,
-                meta={"series": job.series, "load": job.load, "seed": job.seed},
-            )
-            # Periodic flush keeps interrupted sweeps resumable without
-            # rewriting the whole store once per completed job.
-            now = time.monotonic()
-            if now - last_flush >= FLUSH_INTERVAL_SECONDS:
-                store.flush()
-                last_flush = now
-        if progress is not None:
-            progress(job, record.summary)
-
-    make_backend(workers).run(pending, on_result)
-    if store is not None:
-        store.flush()
-    return results, cache_hits, len(pending)
-
-
 def run_sweep(
     spec: SweepSpec,
     workers: Optional[int] = None,
     store: Optional[ResultStore] = None,
     progress: Optional[Callable[[Job, SimulationResult], None]] = None,
+    chunk_size: Optional[int] = None,
+    adaptive: Optional[AdaptiveSettings] = None,
+    converge: Optional[ConvergenceSettings] = None,
 ) -> SweepOutcome:
     """Expand a sweep specification and execute all of its jobs."""
     jobs = spec.expand()
-    results, cache_hits, executed = run_jobs(jobs, workers=workers, store=store, progress=progress)
+    stats = run_jobs(
+        jobs,
+        workers=workers,
+        store=store,
+        progress=progress,
+        chunk_size=chunk_size,
+        adaptive=adaptive,
+        converge=converge,
+    )
     return SweepOutcome(
-        spec=spec, raw=results, jobs=jobs, cache_hits=cache_hits, executed=executed
+        spec=spec,
+        raw=stats.results,
+        jobs=jobs,
+        cache_hits=stats.cache_hits,
+        executed=stats.executed,
+        extrapolated=stats.extrapolated,
+        artifact_hits=stats.artifact_hits,
+        artifact_misses=stats.artifact_misses,
     )
 
 

@@ -230,8 +230,14 @@ def load_sweep(
     seeds: int = 1,
     workers: Optional[int] = None,
     store: Optional[ResultStore] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[Series]:
-    """Run every series at every offered load (latency/throughput curves)."""
+    """Run every series at every offered load (latency/throughput curves).
+
+    ``chunk_size`` (like ``workers``/``store``) defaults to the active
+    :func:`~repro.experiments.orchestrator.orchestration` context, as do the
+    opt-in adaptive/convergence sweep modes.
+    """
     loads = list(loads)
     spec = SweepSpec(
         series=[(entry.label, entry.builder) for entry in series],
@@ -239,7 +245,7 @@ def load_sweep(
         seeds=max(1, seeds),
         name="load_sweep",
     )
-    outcome = run_sweep(spec, workers=workers, store=store)
+    outcome = run_sweep(spec, workers=workers, store=store, chunk_size=chunk_size)
     for entry in series:
         entry.results = [outcome.point(entry.label, load) for load in loads]
     return list(series)
@@ -251,6 +257,10 @@ def max_throughput(
     saturation_load: float = 1.0,
     workers: Optional[int] = None,
     store: Optional[ResultStore] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[Series]:
     """Accepted load at full offered load (the paper's "maximum throughput")."""
-    return load_sweep(series, [saturation_load], seeds, workers=workers, store=store)
+    return load_sweep(
+        series, [saturation_load], seeds,
+        workers=workers, store=store, chunk_size=chunk_size,
+    )

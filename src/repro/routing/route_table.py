@@ -54,6 +54,33 @@ class PhaseVcTable:
     MAX_TAKEN = 8
     MAX_POSITION = 16
 
+    #: process-wide memo of ``slot_fn -> PhaseVcTable`` (see :meth:`shared`).
+    _SHARED: Dict[object, "PhaseVcTable"] = {}
+
+    @classmethod
+    def shared(cls, slot_fn) -> "PhaseVcTable":
+        """Memoized table for ``slot_fn`` (one enumeration per process).
+
+        The table is a pure function of ``slot_fn``; every
+        :class:`~repro.core.baseline.DistanceBasedPolicy` instance uses the
+        same static closed form, so enumerating the ~65k-entry table once per
+        *simulation* (the pre-cache behaviour) wasted several milliseconds of
+        every sweep job.  Keyed by the underlying function (bound methods are
+        unwrapped via ``__func__``), so a different closed form — e.g. a
+        subclass override, whether static or a plain method — gets exactly
+        one table per class, never one per policy instance.
+
+        Contract: the closed form must be *pure in its arguments* — the
+        whole premise of enumerating it into a table.  An override that
+        reads per-instance state would be shared per class here and must
+        build its table with ``PhaseVcTable(fn)`` directly instead.
+        """
+        key = getattr(slot_fn, "__func__", slot_fn)
+        table = cls._SHARED.get(key)
+        if table is None:
+            table = cls._SHARED[key] = cls(slot_fn)
+        return table
+
     def __init__(self, slot_fn) -> None:
         L = G = self.MAX_OFFSET
         T = self.MAX_TAKEN

@@ -28,7 +28,9 @@ shims over ``warmup(); measure()``.
 
 from __future__ import annotations
 
+import math
 import time
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .config import SimulationConfig
@@ -39,6 +41,66 @@ from .simulation import Simulation
 
 #: default bound on how long ``drain()`` keeps the clock running.
 DEFAULT_DRAIN_LIMIT_CYCLES = 1_000_000
+
+#: two-sided Student-t critical values by confidence level and degrees of
+#: freedom (batch-means confidence intervals over few windows need the exact
+#: small-sample quantiles; beyond the table the normal quantile is used).
+_T_CRITICAL = {
+    0.90: (6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812),
+    0.95: (12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228),
+    0.99: (63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169),
+}
+_NORMAL_QUANTILE = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+@dataclass(frozen=True)
+class ConvergenceSettings:
+    """Stopping rule of :meth:`Session.measure_converged`.
+
+    The measurement budget (``config.measure_cycles``) is split into
+    ``max_windows`` equal batch windows; after each window, batch-means
+    confidence intervals on accepted load and average latency are compared
+    against ``rel_tol`` (relative half-width).  Measurement stops at the
+    first window (>= ``min_windows``) where both are within tolerance, so a
+    quickly-converging point spends a fraction of the fixed budget; a noisy
+    one is capped at exactly the budget.
+    """
+
+    rel_tol: float = 0.05
+    confidence: float = 0.95
+    min_windows: int = 3
+    max_windows: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rel_tol < 1.0:
+            raise ValueError("rel_tol must be in (0, 1)")
+        if self.confidence not in _T_CRITICAL:
+            raise ValueError(
+                f"confidence must be one of {sorted(_T_CRITICAL)}, "
+                f"got {self.confidence}"
+            )
+        if not 2 <= self.min_windows <= self.max_windows:
+            raise ValueError("need 2 <= min_windows <= max_windows")
+
+
+def _relative_half_width(values: Sequence[float], confidence: float) -> float:
+    """CI half-width of the batch means, relative to their mean.
+
+    Returns ``inf`` when no interval exists yet (fewer than two batches) and
+    ``0`` for a degenerate exactly-constant sequence (including all-zero).
+    """
+    n = len(values)
+    if n < 2:
+        return math.inf
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    if variance == 0.0:
+        return 0.0
+    if mean == 0.0:
+        return math.inf
+    table = _T_CRITICAL[confidence]
+    t = table[n - 2] if n - 2 < len(table) else _NORMAL_QUANTILE[confidence]
+    return t * math.sqrt(variance / n) / abs(mean)
 
 
 class Session:
@@ -77,6 +139,9 @@ class Session:
         self._finished = False
         self._wall_start: Optional[float] = None
         self._wall_elapsed = 0.0
+        #: extra provenance entries merged into :meth:`record`'s output
+        #: (e.g. the convergence controller's stopping diagnostics).
+        self.provenance_extra: dict = {}
         for probe in probes:
             self.attach(probe)
 
@@ -187,6 +252,114 @@ class Session:
         self.windows.append((label, result))
         return result
 
+    def measure_converged(
+        self,
+        settings: Optional[ConvergenceSettings] = None,
+        label: str = "converged",
+    ) -> SimulationResult:
+        """Measure in batch windows until confidence intervals converge.
+
+        Opt-in alternative to the fixed-budget :meth:`measure`: the
+        measurement budget (``config.measure_cycles``) is split into
+        ``settings.max_windows`` equal windows, measured one at a time; after
+        each window the batch-means confidence intervals on accepted load and
+        average latency are checked against ``settings.rel_tol``.  The first
+        window (>= ``min_windows``) where both are inside tolerance stops the
+        run, so total measured cycles never exceed the fixed budget and are
+        usually well below it.  A suspected deadlock stops immediately
+        (unconverged).
+
+        Returns the combined summary over the measured windows (throughput
+        from total phits over total cycles, latency weighted by delivered
+        packets) and inserts it ahead of its per-window summaries — when
+        this is the session's first measurement (as in the orchestrator's
+        converge mode), :meth:`record` therefore reports it as the headline
+        result, with the stopping diagnostics in the record's provenance;
+        after earlier :meth:`measure` calls, the headline stays the first
+        window as always and the combined summary rides along.  Results are *not* comparable
+        bit-for-bit with fixed-budget runs — the orchestrator keys converged
+        runs separately in the result store.
+        """
+        if settings is None:
+            settings = ConvergenceSettings()
+        budget = self.config.measure_cycles
+        window = max(1, budget // settings.max_windows)
+        # Tiny budgets clamp the window to one cycle; cap the window *count*
+        # too so total measured cycles never exceed the budget.
+        max_windows = min(settings.max_windows, max(1, budget // window))
+        headline_index = len(self.windows)
+        batch: List[SimulationResult] = []
+        converged = False
+        rel_accepted = rel_latency = math.inf
+        for index in range(max_windows):
+            result = self.measure(window, label=f"{label}/batch{index}")
+            batch.append(result)
+            if result.deadlock_suspected:
+                break
+            if len(batch) >= settings.min_windows:
+                rel_accepted = _relative_half_width(
+                    [r.accepted_load for r in batch], settings.confidence
+                )
+                rel_latency = _relative_half_width(
+                    [r.average_latency for r in batch], settings.confidence
+                )
+                if rel_accepted <= settings.rel_tol and rel_latency <= settings.rel_tol:
+                    converged = True
+                    break
+        combined = self._combine_windows(batch)
+        combined.extra["convergence_windows"] = len(batch)
+        combined.extra["converged"] = converged
+        self.windows.insert(headline_index, (label, combined))
+        self.provenance_extra["convergence"] = {
+            "converged": converged,
+            "windows": len(batch),
+            "window_cycles": window,
+            "budget_cycles": budget,
+            "measured_cycles": len(batch) * window,
+            "rel_tol": settings.rel_tol,
+            "confidence": settings.confidence,
+            "rel_half_width_accepted": None if math.isinf(rel_accepted)
+            else round(rel_accepted, 6),
+            "rel_half_width_latency": None if math.isinf(rel_latency)
+            else round(rel_latency, 6),
+        }
+        return combined
+
+    @staticmethod
+    def _combine_windows(batch: List[SimulationResult]) -> SimulationResult:
+        """Aggregate equal batch windows into one summary.
+
+        Throughput is exact (total phits over total cycles); latency means
+        and the misrouted fraction are weighted by each window's delivered
+        packets; p99 is the same weighted mean (an approximation — per-window
+        histograms are already closed when batches combine).
+        """
+        base = batch[0]
+        total_cycles = sum(r.measured_cycles for r in batch)
+        phits = sum(r.phits_delivered for r in batch)
+        delivered = sum(r.packets_delivered for r in batch)
+        weights = [r.packets_delivered for r in batch]
+        weight_sum = sum(weights) or 1
+
+        def weighted(attr: str) -> float:
+            return sum(
+                getattr(r, attr) * w for r, w in zip(batch, weights)
+            ) / weight_sum
+
+        return SimulationResult(
+            offered_load=base.offered_load,
+            accepted_load=phits / (base.num_nodes * total_cycles),
+            average_latency=weighted("average_latency"),
+            latency_p99=weighted("latency_p99"),
+            packets_delivered=delivered,
+            packets_generated=batch[-1].packets_generated,
+            phits_delivered=phits,
+            measured_cycles=total_cycles,
+            num_nodes=base.num_nodes,
+            misrouted_fraction=weighted("misrouted_fraction"),
+            deadlock_suspected=any(r.deadlock_suspected for r in batch),
+        )
+
     def run_until(self, cycle: int) -> "Session":
         """Advance raw simulation time (no measurement bookkeeping).
 
@@ -266,6 +439,7 @@ class Session:
             "wall_time_s": round(self._wall_elapsed, 6),
             "probes": [type(probe).__name__ for probe in self._probes],
         }
+        provenance.update(self.provenance_extra)
         summary = self.windows[0][1]
         windows = [
             {"label": label, "summary": result.to_dict()}

@@ -11,6 +11,7 @@ as one-shot compatibility shims returning the flat
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .config import DEFAULT_DEADLOCK_WINDOW_CYCLES, SimulationConfig
@@ -41,6 +42,58 @@ def build_topology(config: SimulationConfig) -> Topology:
     return config.network.build()
 
 
+@dataclass
+class SimulationArtifacts:
+    """Immutable, reusable construction artifacts of one network description.
+
+    Everything here is a pure function of ``config.network`` (graph and
+    latencies): the built topology and the dense
+    :class:`~repro.routing.route_table.RouteTable` (minimal next ports, hop
+    sequences, first global links, adjacency).  All of it is read-only after
+    construction, so one instance can back any number of simulations — the
+    sweep orchestrator memoizes artifacts per worker keyed by
+    ``network_key(config)`` and injects them via ``Simulation(cfg,
+    artifacts=...)``, turning a 200-job sweep's 200 rebuilds into a handful.
+
+    ``network_key`` is informational (provenance/diagnostics); the caller is
+    responsible for matching artifacts to configurations.
+    """
+
+    topology: Topology
+    route_table: RouteTable
+    network_key: str = ""
+
+
+def build_artifacts(
+    config: SimulationConfig, network_key: str = "", *, cached: bool = True
+) -> SimulationArtifacts:
+    """Build (or reuse) the shareable construction artifacts for ``config``.
+
+    With ``cached=True`` the topology comes from the registry's bounded build
+    cache and the route table from a memo *on the topology instance itself*,
+    so configurations describing the same network — sweep points differing
+    only in load, seed, routing or traffic — share one graph and one table
+    per process, and evicting a topology from the registry cache releases
+    its table with it (their lifetimes are one).  ``cached=False`` builds
+    private instances (same contents).
+    """
+    if not cached:
+        topology = config.network.build()
+        return SimulationArtifacts(
+            topology=topology,
+            route_table=RouteTable(topology),
+            network_key=network_key,
+        )
+    topology = config.network.build_cached()
+    route_table = topology.__dict__.get("_cached_route_table")
+    if route_table is None:
+        route_table = RouteTable(topology)
+        topology.__dict__["_cached_route_table"] = route_table
+    return SimulationArtifacts(
+        topology=topology, route_table=route_table, network_key=network_key
+    )
+
+
 class Simulation:
     """One complete simulation instance (single seed).
 
@@ -50,20 +103,36 @@ class Simulation:
     Results are bit-identical by construction (asserted by
     ``tests/test_alloc_equivalence.py``); the flag exists for that test and
     for debugging suspected allocator regressions.
+
+    ``artifacts`` injects pre-built construction artifacts
+    (:class:`SimulationArtifacts`: topology + route table) instead of
+    building them here.  The artifacts must describe ``config.network``; the
+    sweep orchestrator guarantees this by keying its per-worker cache on
+    ``network_key(config)``.  Artifacts are read-only, so sharing them across
+    simulations is bit-identical to private builds.
     """
 
     def __init__(
-        self, config: SimulationConfig, *, use_reference_allocator: bool = False
+        self,
+        config: SimulationConfig,
+        *,
+        use_reference_allocator: bool = False,
+        artifacts: Optional[SimulationArtifacts] = None,
     ) -> None:
         config.validate()
         self.config = config
         self._use_reference_allocator = use_reference_allocator
         self.rng = random.Random(config.seed)
         self.engine = Engine()
-        self.topology = build_topology(config)
+        self.topology = (
+            artifacts.topology if artifacts is not None else build_topology(config)
+        )
         #: dense minimal-route tables, precomputed once and shared by every
         #: routing consumer (plans, PAR/PB sensing, saturation lookups).
-        self.route_table = RouteTable(self.topology)
+        self.route_table = (
+            artifacts.route_table if artifacts is not None
+            else RouteTable(self.topology)
+        )
         self.metrics = MetricsCollector(
             num_nodes=self.topology.num_nodes,
             packet_size=config.traffic.packet_size,

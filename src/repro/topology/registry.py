@@ -32,6 +32,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+from ..cache import BoundedLRU
 from .base import Topology
 
 
@@ -68,11 +69,26 @@ class TopologySpec:
 
 
 class TopologyRegistry:
-    """Name -> :class:`TopologySpec` registry with alias resolution."""
+    """Name -> :class:`TopologySpec` registry with alias resolution.
+
+    Besides plain :meth:`build` (always a fresh instance), the registry keeps
+    a small bounded cache of built topologies keyed by ``(canonical name,
+    sorted parameter items)`` — see :meth:`build_cached`.  Topologies are
+    immutable after construction (their lazy group/slot memos are idempotent),
+    so sharing one instance across simulations is safe and saves rebuilding
+    the same graph for every point of a sweep.
+    """
+
+    #: bounded size of the built-topology cache (LRU eviction).
+    BUILD_CACHE_MAX = 16
 
     def __init__(self) -> None:
         self._specs: Dict[str, TopologySpec] = {}
         self._aliases: Dict[str, str] = {}
+        #: (canonical name, params items) -> built topology.
+        self._build_cache = BoundedLRU(self.BUILD_CACHE_MAX)
+        self.build_cache_hits = 0
+        self.build_cache_misses = 0
 
     # -- registration -------------------------------------------------------
     def register(
@@ -128,6 +144,31 @@ class TopologyRegistry:
     def build(self, name: str, params: Optional[Mapping[str, Any]] = None) -> Topology:
         """Build the topology registered under ``name``."""
         return self.get(name).build(params)
+
+    def build_cached(
+        self, name: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Topology:
+        """Build-or-reuse the topology registered under ``name``.
+
+        Returns a shared instance for repeated identical requests (sweep
+        points differing only in load/seed/routing all describe the same
+        graph).  Parameters must already be hashable — tuples, not lists —
+        which is how :class:`repro.config.NetworkConfig` stores them; a
+        non-hashable request silently falls back to a fresh build.
+        """
+        spec = self.get(name)
+        try:
+            key = (spec.name, tuple(sorted((params or {}).items())))
+            cached = self._build_cache.get(key)  # raises on unhashable values
+        except TypeError:  # unhashable parameter values
+            return spec.build(params)
+        if cached is not None:
+            self.build_cache_hits += 1
+            return cached
+        self.build_cache_misses += 1
+        topology = spec.build(params)
+        self._build_cache.put(key, topology)
+        return topology
 
 
 #: The process-wide registry; populated by the topology modules on import.

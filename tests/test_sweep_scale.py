@@ -1,0 +1,459 @@
+"""Sweep-scale execution tests: artifact cache, chunking, adaptive, converge.
+
+The contract under test (ISSUE 5 acceptance criteria):
+
+* default-mode sweeps are **bit-identical** to per-job fresh-build execution
+  at any worker count and chunk size — chunked dispatch and artifact reuse
+  are execution-strategy changes only;
+* interrupted sweeps resume from the store without recomputing anything
+  already persisted, chunking included;
+* adaptive scheduling and convergence-window measurement are opt-in, flag
+  their provenance, and never pollute the default cache namespace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.orchestrator import (
+    EXTRAPOLATED_KEY_SUFFIX,
+    AdaptiveSettings,
+    ArtifactCache,
+    Job,
+    ResultStore,
+    SweepSpec,
+    config_key,
+    network_key,
+    run_jobs,
+    run_sweep,
+    store_key,
+)
+from repro.metrics import SimulationResult
+from repro.router.saturation import is_saturated_point
+from repro.session import ConvergenceSettings, Session, _relative_half_width
+from repro.simulation import Simulation, build_artifacts
+
+
+def make_config(**overrides) -> SimulationConfig:
+    base = SimulationConfig(warmup_cycles=150, measure_cycles=300)
+    return dataclasses.replace(base, **overrides)
+
+
+def build_config() -> SimulationConfig:
+    return make_config()
+
+
+def make_result(offered: float, accepted: float, deadlock: bool = False) -> SimulationResult:
+    return SimulationResult(
+        offered_load=offered,
+        accepted_load=accepted,
+        average_latency=100.0,
+        latency_p99=200.0,
+        packets_delivered=10,
+        packets_generated=12,
+        phits_delivered=80,
+        measured_cycles=300,
+        num_nodes=72,
+        misrouted_fraction=0.0,
+        deadlock_suspected=deadlock,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Keys: single-pass expansion and network sub-hash
+# ---------------------------------------------------------------------------
+
+class TestKeys:
+    def test_expand_keys_match_full_serialization(self):
+        """The one-asdict-per-series fast path must agree with config_key."""
+        from repro.config import NetworkConfig
+        from repro.core.arrangement import VcArrangement
+
+        def hyperx_flexvc() -> SimulationConfig:
+            return make_config(
+                network=NetworkConfig(topology="hyperx", params={"s": (4, 3, 3)}),
+                routing=dataclasses.replace(
+                    make_config().routing, vc_policy="flexvc", algorithm="val"
+                ),
+                arrangement=VcArrangement.single_class(4, 2),
+            )
+
+        spec = SweepSpec(
+            series=[("df", build_config), ("hx", hyperx_flexvc)],
+            loads=[0.1, 0.35],
+            seeds=2,
+        )
+        for job in spec.expand():
+            assert job.key == config_key(job.config)
+            assert job.network_key == network_key(job.config)
+
+    def test_network_key_ignores_load_seed_traffic(self):
+        a = make_config().with_load(0.1)
+        b = make_config().with_load(0.9).with_seed(7)
+        assert network_key(a) == network_key(b)
+        assert config_key(a) != config_key(b)
+
+    def test_network_key_tracks_network_and_routing(self):
+        base = make_config()
+        other_routing = dataclasses.replace(
+            base, routing=dataclasses.replace(base.routing, vc_selection="random")
+        )
+        assert network_key(base) != network_key(other_routing)
+
+    def test_store_key_suffixes_convergence_mode(self):
+        job = SweepSpec(series=[("s", build_config)], loads=[0.1]).expand()[0]
+        assert store_key(job) == job.key
+        converged = dataclasses.replace(job, converge=ConvergenceSettings())
+        assert store_key(converged).startswith(job.key + ":cw")
+        other = dataclasses.replace(
+            job, converge=ConvergenceSettings(rel_tol=0.01)
+        )
+        assert store_key(converged) != store_key(other)
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache correctness
+# ---------------------------------------------------------------------------
+
+class TestArtifactCache:
+    def test_artifact_backed_runs_are_bit_identical(self):
+        config = make_config().with_load(0.25)
+        fresh = dataclasses.asdict(Simulation(config).run())
+        artifacts = build_artifacts(config, network_key(config))
+        for _ in range(2):  # reuse the same artifacts twice
+            shared = dataclasses.asdict(
+                Simulation(config, artifacts=artifacts).run()
+            )
+            assert shared == fresh
+
+    def test_cache_reuses_and_evicts(self):
+        cache = ArtifactCache(max_entries=2)
+        configs = [
+            make_config(),
+            make_config(network=make_config().network.__class__(topology="fb")),
+        ]
+        keys = [network_key(c) for c in configs]
+        first = cache.get(keys[0], configs[0])
+        assert cache.get(keys[0], configs[0]) is first
+        assert cache.counters() == (1, 1)
+        cache.get(keys[1], configs[1])
+        # Touch keys[0] so keys[1] becomes least-recently-used, then insert
+        # a third key: keys[1] is evicted, keys[0] survives.
+        cache.get(keys[0], configs[0])
+        third = make_config(
+            network=make_config().network.__class__(topology="hyperx",
+                                                    params={"s": (4, 3)})
+        )
+        cache.get(network_key(third), third)
+        assert cache.get(keys[0], configs[0]) is first  # still cached
+        assert cache.counters() == (3, 3)
+        cache.get(keys[1], configs[1])  # evicted -> rebuilt
+        assert cache.counters() == (3, 4)
+
+    def test_shared_topology_and_route_table_instances(self):
+        a = build_artifacts(make_config(), "k")
+        b = build_artifacts(make_config().with_load(0.9), "k")
+        assert a.topology is b.topology
+        assert a.route_table is b.route_table
+        private = build_artifacts(make_config(), "k", cached=False)
+        assert private.topology is not a.topology
+
+
+# ---------------------------------------------------------------------------
+# Chunked execution equivalence (the tentpole default-mode guarantee)
+# ---------------------------------------------------------------------------
+
+class TestChunkedEquivalence:
+    SPEC = dict(loads=[0.15, 0.3], seeds=2)
+
+    def _spec(self) -> SweepSpec:
+        return SweepSpec(series=[("uniform", build_config)], **self.SPEC)
+
+    def _store_payload(self, path) -> dict:
+        """Store contents reduced to what must be invariant: key -> summary."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return {
+            key: entry["record"]["summary"]
+            for key, entry in payload["results"].items()
+        }
+
+    def test_chunked_and_cached_matches_per_job_fresh_builds(self, tmp_path):
+        """workers in {1, 4} x chunked/cached == the serial per-job path."""
+        # Reference: per-job dispatch, fresh artifacts per simulation (the
+        # pre-artifact-cache PR 4 behaviour).
+        reference = {
+            job.key: dataclasses.asdict(Simulation(job.config).run())
+            for job in self._spec().expand()
+        }
+        payloads = {}
+        for workers, chunk_size in ((1, None), (4, None), (4, 1), (1, 3)):
+            path = str(tmp_path / f"store_{workers}_{chunk_size}.json")
+            outcome = run_sweep(
+                self._spec(), workers=workers, chunk_size=chunk_size,
+                store=ResultStore(path),
+            )
+            assert outcome.executed == len(reference)
+            for key, expected in reference.items():
+                assert dataclasses.asdict(outcome.raw[key]) == expected
+            payloads[(workers, chunk_size)] = self._store_payload(path)
+        # Store contents (config keys + summaries) identical across modes.
+        first = next(iter(payloads.values()))
+        for payload in payloads.values():
+            assert payload == first
+
+    def test_resume_recomputes_nothing_stored(self, tmp_path, monkeypatch):
+        """A killed chunked sweep resumes: stored points never re-execute."""
+        path = str(tmp_path / "store.json")
+        spec = self._spec()
+        jobs = spec.expand()
+
+        # Simulate the interruption: only half the sweep completed+flushed.
+        half = len(jobs) // 2
+        run_jobs(jobs[:half], workers=1, store=ResultStore(path))
+
+        import repro.experiments.orchestrator as orch
+
+        executed_keys = []
+        original = orch._execute_job
+
+        def spying_execute(job):
+            executed_keys.append(job.key)
+            return original(job)
+
+        monkeypatch.setattr(orch, "_execute_job", spying_execute)
+        outcome = run_sweep(spec, workers=1, store=ResultStore(path))
+        assert outcome.cache_hits == half
+        assert sorted(executed_keys) == sorted(j.key for j in jobs[half:])
+
+    def test_flush_interval_zero_checkpoints_every_result(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = ResultStore(path, flush_interval=0.0)
+        sizes = []
+
+        def on_progress(job, result):
+            # The store flushed before the progress callback ran, so every
+            # completed point is already on disk.
+            sizes.append(len(ResultStore(path)))
+
+        run_jobs(self._spec().expand(), workers=1, store=store, progress=on_progress)
+        assert sizes == list(range(1, len(sizes) + 1))
+
+
+# ---------------------------------------------------------------------------
+# Saturation-point detection
+# ---------------------------------------------------------------------------
+
+class TestSaturationPoint:
+    def test_accepted_tracks_offered_is_not_saturated(self):
+        assert not is_saturated_point(make_result(0.4, 0.39))
+
+    def test_large_shortfall_is_saturated(self):
+        assert is_saturated_point(make_result(0.9, 0.55))
+
+    def test_margin_is_relative(self):
+        assert not is_saturated_point(make_result(0.9, 0.86), margin=0.05)
+        assert is_saturated_point(make_result(0.9, 0.86), margin=0.01)
+
+    def test_deadlock_counts_as_saturated(self):
+        assert is_saturated_point(make_result(0.1, 0.1, deadlock=True))
+
+    def test_zero_load_never_saturated(self):
+        assert not is_saturated_point(make_result(0.0, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# Adaptive scheduling
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveScheduling:
+    LOADS = [0.2, 0.7, 0.8, 0.9, 1.0]
+
+    def _spec(self) -> SweepSpec:
+        return SweepSpec(series=[("sat", build_config)], loads=self.LOADS, seeds=1)
+
+    def test_cutoff_extrapolates_remaining_loads(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.json"))
+        outcome = run_sweep(
+            self._spec(), workers=1, store=store,
+            adaptive=AdaptiveSettings(cutoff_after=2, margin=0.05),
+        )
+        assert outcome.executed + outcome.extrapolated == len(self.LOADS)
+        assert outcome.extrapolated >= 1
+        table = outcome.table()
+        flagged = [
+            load for (_, load), result in table.items()
+            if result.extra.get("extrapolated")
+        ]
+        # Extrapolation only ever affects the highest loads, contiguously.
+        assert flagged == self.LOADS[-len(flagged):]
+        for (_, load), result in table.items():
+            if result.extra.get("extrapolated"):
+                assert result.offered_load == load
+                assert result.extra["extrapolated_from_load"] < load
+
+    def test_extrapolated_records_use_suffixed_store_keys(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = ResultStore(path)
+        outcome = run_sweep(
+            self._spec(), workers=1, store=store,
+            adaptive=AdaptiveSettings(cutoff_after=1, margin=0.05),
+        )
+        assert outcome.extrapolated >= 1
+        with open(path, "r", encoding="utf-8") as handle:
+            stored = json.load(handle)["results"]
+        extrapolated_keys = [
+            key for key in stored if EXTRAPOLATED_KEY_SUFFIX in key
+        ]
+        assert len(extrapolated_keys) == outcome.extrapolated
+        for key in extrapolated_keys:
+            entry = stored[key]
+            assert entry["meta"]["extrapolated"] is True
+            assert entry["record"]["provenance"]["extrapolated"] is True
+            # Traceability: the record names the simulated run it copies.
+            assert entry["record"]["provenance"]["source_config_key"] in stored
+            # The plain config key must NOT exist for extrapolated points.
+            assert key.split(EXTRAPOLATED_KEY_SUFFIX)[0] not in stored
+
+    def test_non_adaptive_rerun_resimulates_extrapolated_points(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        first = run_sweep(
+            self._spec(), workers=1, store=ResultStore(path),
+            adaptive=AdaptiveSettings(cutoff_after=1, margin=0.05),
+        )
+        assert first.extrapolated >= 1
+        second = run_sweep(self._spec(), workers=1, store=ResultStore(path))
+        assert second.executed == first.extrapolated
+        assert second.cache_hits == first.executed
+
+    def test_adaptive_resume_serves_extrapolated_records(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        settings = AdaptiveSettings(cutoff_after=1, margin=0.05)
+        first = run_sweep(
+            self._spec(), workers=1, store=ResultStore(path), adaptive=settings
+        )
+        resumed = run_sweep(
+            self._spec(), workers=1, store=ResultStore(path), adaptive=settings
+        )
+        assert resumed.executed == 0 and resumed.extrapolated == 0
+        assert resumed.cache_hits == len(self.LOADS)
+        for key, result in first.raw.items():
+            assert dataclasses.asdict(resumed.raw[key]) == dataclasses.asdict(result)
+
+    def test_different_adaptive_settings_never_share_extrapolations(self, tmp_path):
+        """An extrapolation is only valid under the settings that made it."""
+        path = str(tmp_path / "store.json")
+        first = run_sweep(
+            self._spec(), workers=1, store=ResultStore(path),
+            adaptive=AdaptiveSettings(cutoff_after=1, margin=0.05),
+        )
+        assert first.extrapolated >= 1
+        # A margin so wide nothing saturates: the old extrapolations must
+        # not be served, and with no cutoff every point is simulated.
+        second = run_sweep(
+            self._spec(), workers=1, store=ResultStore(path),
+            adaptive=AdaptiveSettings(cutoff_after=1, margin=0.5),
+        )
+        assert second.cache_hits == first.executed
+        assert second.executed == first.extrapolated
+        assert second.extrapolated == 0
+
+    def test_adaptive_without_saturation_simulates_everything(self):
+        spec = SweepSpec(series=[("low", build_config)], loads=[0.05, 0.1], seeds=1)
+        outcome = run_sweep(
+            spec, workers=1, adaptive=AdaptiveSettings(cutoff_after=2, margin=0.5)
+        )
+        assert outcome.extrapolated == 0
+        assert outcome.executed == 2
+
+    def test_settings_validate(self):
+        with pytest.raises(ValueError):
+            AdaptiveSettings(cutoff_after=0)
+        with pytest.raises(ValueError):
+            AdaptiveSettings(margin=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Convergence-window measurement
+# ---------------------------------------------------------------------------
+
+class TestConvergence:
+    def test_relative_half_width(self):
+        import math
+
+        assert _relative_half_width([1.0], 0.95) == math.inf
+        assert _relative_half_width([2.0, 2.0, 2.0], 0.95) == 0.0
+        wide = _relative_half_width([1.0, 3.0], 0.95)
+        narrow = _relative_half_width([1.9, 2.1], 0.95)
+        assert wide > narrow > 0.0
+
+    def test_settings_validate(self):
+        with pytest.raises(ValueError):
+            ConvergenceSettings(rel_tol=0.0)
+        with pytest.raises(ValueError):
+            ConvergenceSettings(confidence=0.5)
+        with pytest.raises(ValueError):
+            ConvergenceSettings(min_windows=1)
+        with pytest.raises(ValueError):
+            ConvergenceSettings(min_windows=5, max_windows=3)
+
+    def test_budget_cap_and_provenance(self):
+        config = make_config(measure_cycles=1000).with_load(0.3)
+        session = Session(config)
+        session.warmup()
+        settings = ConvergenceSettings(rel_tol=0.2, min_windows=2, max_windows=5)
+        combined = session.measure_converged(settings)
+        record = session.record()
+        info = record.provenance["convergence"]
+        assert info["measured_cycles"] <= config.measure_cycles
+        assert info["windows"] == combined.extra["convergence_windows"]
+        assert record.summary.extra["convergence_windows"] == info["windows"]
+        assert record.summary is combined or record.summary == combined
+        # Per-batch windows ride along behind the combined headline.
+        assert len(record.windows) == info["windows"] + 1
+
+    def test_converged_early_spends_less_than_budget(self):
+        config = make_config(measure_cycles=2000).with_load(0.2)
+        session = Session(config)
+        session.warmup()
+        combined = session.measure_converged(
+            ConvergenceSettings(rel_tol=0.5, min_windows=2, max_windows=10)
+        )
+        info = session.provenance_extra["convergence"]
+        assert combined.extra["converged"] is True
+        assert info["measured_cycles"] < config.measure_cycles
+
+    def test_converge_mode_does_not_pollute_default_cache(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        spec = SweepSpec(series=[("c", build_config)], loads=[0.2], seeds=1)
+        converged = run_sweep(
+            spec, workers=1, store=ResultStore(path),
+            converge=ConvergenceSettings(min_windows=2, max_windows=4),
+        )
+        assert converged.executed == 1
+        # A default-mode sweep over the same store must not see it.
+        plain = run_sweep(spec, workers=1, store=ResultStore(path))
+        assert plain.executed == 1 and plain.cache_hits == 0
+        # ... and the converge-mode rerun is served from its own key.
+        again = run_sweep(
+            spec, workers=1, store=ResultStore(path),
+            converge=ConvergenceSettings(min_windows=2, max_windows=4),
+        )
+        assert again.executed == 0 and again.cache_hits == 1
+
+    def test_converged_summary_flagged_in_store_record(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        spec = SweepSpec(series=[("c", build_config)], loads=[0.2], seeds=1)
+        run_sweep(
+            spec, workers=1, store=ResultStore(path),
+            converge=ConvergenceSettings(min_windows=2, max_windows=4),
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            stored = json.load(handle)["results"]
+        (key,) = stored.keys()
+        assert ":cw" in key
+        assert "convergence" in stored[key]["record"]["provenance"]
