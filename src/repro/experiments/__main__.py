@@ -182,6 +182,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         adaptive=adaptive,
         converge=converge,
         verbose=args.verbose,
+        backend=args.backend,
     ):
         for name in args.figures:
             entry = REGISTRY[name]
@@ -240,7 +241,9 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         series = meta.get("series", "?")
         load = meta.get("load", "?")
         seed = meta.get("seed", "?")
-        print(f"{key}  series={series} load={load} seed={seed}")
+        backend = meta.get("backend") or record.provenance.get("backend")
+        suffix = f" backend={backend}" if backend else ""
+        print(f"{key}  series={series} load={load} seed={seed}{suffix}")
         print(f"  summary:    {record.summary}")
         provenance = record.provenance
         if provenance:
@@ -253,6 +256,10 @@ def cmd_inspect(args: argparse.Namespace) -> int:
                 parts.append(f"{cycles} cycles")
             if wall is not None:
                 parts.append(f"{wall}s wall")
+            if provenance.get("backend_fallback_reason"):
+                parts.append(
+                    f"backend fallback: {provenance['backend_fallback_reason']}"
+                )
             if provenance.get("extrapolated"):
                 parts.append(
                     "EXTRAPOLATED from load "
@@ -341,6 +348,13 @@ def build_parser() -> argparse.ArgumentParser:
                      default=FLUSH_INTERVAL_SECONDS, metavar="SECONDS",
                      help="seconds between mid-sweep result-store flushes "
                           f"(default: {FLUSH_INTERVAL_SECONDS})")
+    run.add_argument("--backend", default="python",
+                     choices=("python", "vectorized", "auto"),
+                     help="simulation stepping backend: python (default), "
+                          "vectorized (numpy kernel, requires the [fast] "
+                          "extra; bit-identical results), or auto "
+                          "(vectorized when available); non-python backends "
+                          "get their own result-store keys")
     run.add_argument("--probes", default=None, metavar="P1,P2",
                      help="attach registry probes to every executed point and "
                           "persist their telemetry channels alongside the "

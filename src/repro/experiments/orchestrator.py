@@ -56,7 +56,7 @@ import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, replace
+from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -102,13 +102,22 @@ def _hash_payload(payload: dict) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
 
 
-def config_key(config: SimulationConfig) -> str:
+def config_key(config: SimulationConfig, backend: str = "python") -> str:
     """Stable content hash of a complete simulation configuration.
 
     Dataclass-derived JSON with sorted keys, so two structurally equal
     configurations (even if built through different code paths) share a key.
+
+    A non-default simulation ``backend`` is hashed into the key so a result
+    store never silently mixes backends; the python default adds nothing,
+    keeping every pre-existing stored key valid.  (The coarser
+    :func:`network_key` deliberately ignores the backend — construction
+    artifacts are backend-independent.)
     """
-    return _hash_payload(asdict(config))
+    payload = asdict(config)
+    if backend != "python":
+        payload["backend"] = backend
+    return _hash_payload(payload)
 
 
 def _network_payload(config_payload: dict) -> dict:
@@ -187,6 +196,10 @@ class Job:
     probes: Tuple[str, ...] = ()
     network_key: str = ""
     converge: Optional[ConvergenceSettings] = None
+    #: simulation stepping backend ("python"/"vectorized"/"auto"); part of
+    #: the cache key (a non-python backend hashes into ``key``) but not of
+    #: ``network_key`` — construction artifacts are backend-independent.
+    backend: str = "python"
 
 
 def store_key(job: Job) -> str:
@@ -210,6 +223,8 @@ class SweepSpec:
     name: str = "sweep"
     #: probe registry names attached to every expanded job.
     probes: Tuple[str, ...] = ()
+    #: simulation backend of every expanded job (see :mod:`repro.kernel`).
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         labels = [label for label, _ in self.series]
@@ -217,6 +232,12 @@ class SweepSpec:
             raise ValueError(f"duplicate series labels in sweep {self.name!r}: {labels}")
         if self.seeds < 1:
             raise ValueError("seeds must be >= 1")
+        from ..kernel import VALID_BACKENDS
+
+        if self.backend not in VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {VALID_BACKENDS}, got {self.backend!r}"
+            )
 
     def expand(self) -> List[Job]:
         """Expand into independent jobs (deterministic order).
@@ -231,10 +252,15 @@ class SweepSpec:
         """
         jobs: List[Job] = []
         probes = tuple(self.probes)
+        backend = self.backend
         for label, builder in self.series:
             base = builder()
             payload = asdict(base)
             net_key = _hash_payload(_network_payload(payload))
+            if backend != "python":
+                # Mirror config_key()'s backend entry so expanded keys stay
+                # identical to config_key(job.config, backend=job.backend).
+                payload["backend"] = backend
             traffic_payload = payload["traffic"]
             for load in self.loads:
                 loaded = base.with_load(load)
@@ -251,6 +277,7 @@ class SweepSpec:
                             config=config,
                             probes=probes,
                             network_key=net_key,
+                            backend=backend,
                         )
                     )
         return jobs
@@ -468,15 +495,26 @@ def _execute_job(job: Job) -> Tuple[str, RunRecord]:
     :meth:`~repro.session.Session.measure_converged` instead of one fixed
     window.
     """
-    from ..probes import make_probes
+    from ..probes import Probe, make_probes
     from ..session import Session
     from ..simulation import Simulation
 
     artifacts = _WORKER_ARTIFACTS.get(
         job.network_key or network_key(job.config), job.config
     )
-    simulation = Simulation(job.config, artifacts=artifacts)
-    session = Session(simulation=simulation, probes=make_probes(job.probes))
+    probes = make_probes(job.probes)
+    backend = job.backend
+    if backend != "python" and any(
+        getattr(type(probe), "on_alloc_stall", None) is not Probe.on_alloc_stall
+        for probe in probes
+    ):
+        # Stall probes observe the scalar allocator's verdict machinery,
+        # which the vectorized kernel never engages; resolve the degrade
+        # here (instead of letting Session warn per job) — results are
+        # identical either way and provenance records the active backend.
+        backend = "python"
+    simulation = Simulation(job.config, artifacts=artifacts, backend=backend)
+    session = Session(simulation=simulation, probes=probes)
     session.warmup()
     if job.converge is not None:
         session.measure_converged(job.converge)
@@ -821,6 +859,9 @@ class OrchestrationContext:
     converge: Optional[ConvergenceSettings] = None
     #: stream progress/cache-hit lines to stderr while sweeping.
     verbose: bool = False
+    #: simulation backend applied to jobs still carrying the python default
+    #: (job keys are recomputed so stores never mix backends).
+    backend: str = "python"
 
 
 _CONTEXT_STACK: List[OrchestrationContext] = [OrchestrationContext()]
@@ -839,6 +880,7 @@ def orchestration(
     adaptive: Optional[AdaptiveSettings] = None,
     converge: Optional[ConvergenceSettings] = None,
     verbose: bool = False,
+    backend: str = "python",
 ) -> Iterator[OrchestrationContext]:
     """Install parallel/caching defaults for every sweep run inside the block.
 
@@ -847,10 +889,18 @@ def orchestration(
     executed inside the block (cached points are still served from the store
     without telemetry — use ``refresh``/``--force`` to re-run them probed).
     ``chunk_size``, ``adaptive`` and ``converge`` select the sweep-scale
-    execution modes documented on :func:`run_jobs`.
+    execution modes documented on :func:`run_jobs`.  ``backend`` selects the
+    simulation stepping backend (:mod:`repro.kernel`) for every job that
+    does not pin its own; non-python backends rewrite job cache keys.
     """
     if isinstance(store, str):
         store = ResultStore(store)
+    from ..kernel import VALID_BACKENDS
+
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {VALID_BACKENDS}, got {backend!r}"
+        )
     context = OrchestrationContext(
         workers=max(1, int(workers)),
         store=store,
@@ -859,6 +909,7 @@ def orchestration(
         adaptive=adaptive,
         converge=converge,
         verbose=verbose,
+        backend=backend,
     )
     _CONTEXT_STACK.append(context)
     try:
@@ -891,6 +942,10 @@ class JobRunStats:
     artifact_hits: int = 0
     artifact_misses: int = 0
     elapsed_s: float = 0.0
+    #: executed-job counts by *active* simulation backend (from each
+    #: record's provenance, so auto-mode and probe fallbacks count under
+    #: the backend that actually ran).
+    backend_executed: Dict[str, int] = field(default_factory=dict)
 
     def __iter__(self):
         return iter((self.results, self.cache_hits, self.executed))
@@ -915,11 +970,16 @@ class _ProgressReporter:
         done = stats.cache_hits + stats.executed + stats.extrapolated
         elapsed = max(now - self.start, 1e-9)
         simulated_rate = stats.executed / elapsed
+        backends = ", ".join(
+            f"{name} {count} ({count / elapsed:.2f}/s)"
+            for name, count in sorted(stats.backend_executed.items())
+        ) or "none yet"
         print(
             f"[sweep] {done}/{self.total} points | {stats.executed} simulated, "
             f"{stats.cache_hits} cached, {stats.extrapolated} extrapolated | "
             f"artifact cache {stats.artifact_hits} hits / "
-            f"{stats.artifact_misses} misses | {simulated_rate:.2f} jobs/s",
+            f"{stats.artifact_misses} misses | {simulated_rate:.2f} jobs/s | "
+            f"backend {backends}",
             file=sys.stderr,
         )
 
@@ -980,6 +1040,14 @@ def run_jobs(
             job = replace(job, probes=context.probes)
         if converge is not None and job.converge is None:
             job = replace(job, converge=converge)
+        if job.backend == "python" and context.backend != "python":
+            # Unlike probes, the backend is part of the cache key: recompute
+            # it so stored results never silently mix backends.
+            job = replace(
+                job,
+                backend=context.backend,
+                key=config_key(job.config, backend=context.backend),
+            )
         unique.append(job)
 
     stats = JobRunStats(results={})
@@ -1011,13 +1079,20 @@ def run_jobs(
     def on_result(job: Job, record: RunRecord) -> None:
         nonlocal last_flush
         results[job.key] = record.summary
+        active_backend = record.provenance.get("backend", job.backend)
         if record.is_extrapolated:
             stats.extrapolated += 1
         else:
             stats.executed += 1
+            stats.backend_executed[active_backend] = (
+                stats.backend_executed.get(active_backend, 0) + 1
+            )
         if store is not None:
             key = store_key(job)
-            meta = {"series": job.series, "load": job.load, "seed": job.seed}
+            meta = {
+                "series": job.series, "load": job.load, "seed": job.seed,
+                "backend": active_backend,
+            }
             if record.is_extrapolated:
                 # Only the adaptive scheduler synthesizes records, so the
                 # settings-hashed suffix is always resolvable here.
@@ -1117,6 +1192,11 @@ def run_sweep(
     converge: Optional[ConvergenceSettings] = None,
 ) -> SweepOutcome:
     """Expand a sweep specification and execute all of its jobs."""
+    # Adopt the context backend *before* expansion so the outcome's job
+    # keys match the (backend-qualified) keys run_jobs executes under.
+    context = current_context()
+    if spec.backend == "python" and context.backend != "python":
+        spec = replace(spec, backend=context.backend)
     jobs = spec.expand()
     stats = run_jobs(
         jobs,

@@ -1,0 +1,139 @@
+"""Opt-in vectorized simulation kernel (ROADMAP item 3).
+
+``repro.kernel`` hosts the numpy-backed batch-of-routers stepping backend:
+instead of per-router closure calls driven by the engine's active set, one
+:class:`~repro.kernel.vectorized.VectorizedKernel` advances every managed
+router of a cycle with array operations over incrementally maintained
+mirrors of the PR-4 hot-state slabs, falling back to the exact scalar code
+path wherever array semantics cannot reproduce it bit-for-bit (head walks
+that compute forwarding plans, grant execution, ejection, injection).
+
+Backend selection
+-----------------
+``Simulation(config, backend=...)`` accepts:
+
+* ``"python"`` (default) — the pure-Python hot path, source of truth;
+* ``"vectorized"`` — require the numpy kernel; raises ``ImportError`` when
+  numpy is missing (install the ``[fast]`` extra), and degrades to the
+  python path with a warning when the *configuration* is outside the
+  kernel's support envelope (semantics never fork: the scalar path is the
+  same code either way);
+* ``"auto"`` — use the vectorized kernel when numpy is available and the
+  configuration is supported, otherwise silently run the python path (one
+  process-level warning when numpy is absent).
+
+numpy is an optional dependency on purpose: the default install and the
+tier-1 test suite never import it (``pip install .[fast]`` adds it).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Tuple
+
+VALID_BACKENDS = ("python", "vectorized", "auto")
+
+#: set once the "auto backend without numpy" warning has been issued, so a
+#: sweep of hundreds of jobs warns exactly once per process.
+_warned_auto_no_numpy = False
+
+
+def numpy_or_none():
+    """The ``numpy`` module when importable, else None (never raises)."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def require_numpy():
+    """Import numpy or raise an ImportError naming the ``[fast]`` extra."""
+    try:
+        import numpy
+    except ImportError as exc:
+        raise ImportError(
+            "backend='vectorized' requires numpy, which is an optional "
+            "dependency — install it with: pip install 'repro-ipps[fast]' "
+            "(or pip install numpy)"
+        ) from exc
+    return numpy
+
+
+def unsupported_reason(sim) -> Optional[str]:
+    """Why ``sim``'s configuration is outside the kernel's support envelope.
+
+    Returns None when the vectorized kernel reproduces this configuration
+    bit-for-bit.  Every condition here marks state the array pass cannot
+    model without forking semantics; unsupported configurations simply run
+    the scalar path (same results by construction).
+    """
+    from ..core.vc_selection import (
+        HighestVc, JoinShortestQueue, LowestVc, RandomVc,
+    )
+
+    config = sim.config
+    if getattr(sim, "_use_reference_allocator", False):
+        return "reference allocator requested"
+    if config.routing.algorithm not in ("min", "val"):
+        return (f"routing algorithm {config.routing.algorithm!r} "
+                "(adaptive sensing reads time-varying state)")
+    if config.router.buffer_organization != "static":
+        return (f"buffer organization {config.router.buffer_organization!r} "
+                "(only statically partitioned buffers are mirrored)")
+    if config.traffic.reactive:
+        return "reactive traffic (delivery callbacks spawn new requests)"
+    choose = type(sim.selection).choose
+    if choose not in (JoinShortestQueue.choose, HighestVc.choose,
+                      LowestVc.choose, RandomVc.choose):
+        return (f"subclassed VC selection {type(sim.selection).__name__} "
+                "(generic choose() can veto credit-feasible candidates)")
+    return None
+
+
+def resolve_backend(sim, backend: str) -> Tuple[str, Optional[str]]:
+    """Resolve ``backend`` for ``sim`` and install the kernel when selected.
+
+    Returns ``(active_backend, fallback_reason)``.  ``active_backend`` is
+    ``"vectorized"`` only when a kernel was actually installed.
+    """
+    global _warned_auto_no_numpy
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {VALID_BACKENDS}, got {backend!r}"
+        )
+    if backend == "python":
+        return "python", None
+
+    if backend == "vectorized":
+        require_numpy()
+    elif numpy_or_none() is None:  # auto without numpy
+        if not _warned_auto_no_numpy:
+            _warned_auto_no_numpy = True
+            warnings.warn(
+                "backend='auto': numpy is not installed, using the python "
+                "backend (install the [fast] extra for the vectorized "
+                "kernel); this warning is issued once per process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "python", "numpy not installed"
+
+    reason = unsupported_reason(sim)
+    if reason is not None:
+        if backend == "vectorized":
+            warnings.warn(
+                f"backend='vectorized': configuration unsupported by the "
+                f"vectorized kernel ({reason}); running the python backend "
+                f"(results are identical by construction)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "python", reason
+
+    from .vectorized import VectorizedKernel
+
+    kernel = VectorizedKernel(sim)
+    sim.engine.install_batch(kernel)
+    sim.kernel = kernel
+    return "vectorized", None

@@ -110,6 +110,14 @@ class Simulation:
     sweep orchestrator guarantees this by keying its per-worker cache on
     ``network_key(config)``.  Artifacts are read-only, so sharing them across
     simulations is bit-identical to private builds.
+
+    ``backend`` selects the stepping backend: ``"python"`` (default, the
+    source of truth), ``"vectorized"`` (the numpy batch kernel of
+    :mod:`repro.kernel`; requires the ``[fast]`` extra) or ``"auto"``
+    (vectorized when available and supported, python otherwise).  Results
+    are bit-identical across backends; ``backend_active`` records what
+    actually runs and ``backend_fallback_reason`` why it differs from the
+    request (None when it doesn't).
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class Simulation:
         *,
         use_reference_allocator: bool = False,
         artifacts: Optional[SimulationArtifacts] = None,
+        backend: str = "python",
     ) -> None:
         config.validate()
         self.config = config
@@ -152,6 +161,17 @@ class Simulation:
         self._wire_links()
         self._attach_saturation_boards()
         self._build_traffic()
+        #: installed VectorizedKernel instance, or None on the python path.
+        self.kernel = None
+        self.backend_requested = backend
+        # Late import: the default ("python") path never touches the kernel
+        # package beyond this tiny resolver, and numpy only loads when a
+        # vectorized backend is actually requested.
+        from .kernel import resolve_backend
+
+        self.backend_active, self.backend_fallback_reason = resolve_backend(
+            self, backend
+        )
 
     # ------------------------------------------------------------------
     # Construction

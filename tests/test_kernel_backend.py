@@ -1,0 +1,172 @@
+"""Backend selection and fallback behavior of the vectorized kernel.
+
+The kernel itself is covered by the trace-identity matrix in
+``test_alloc_equivalence.py`` and the vectorized golden variants in
+``test_golden_results.py``; this module covers the *selection* machinery:
+
+* ``backend="vectorized"`` without numpy raises an ImportError naming the
+  ``[fast]`` extra (numpy stays an optional dependency);
+* ``backend="auto"`` without numpy degrades to python with exactly one
+  process-level warning;
+* configurations outside the support envelope (adaptive routing, DAMQ,
+  subclassed VC selection) degrade with a warning under an explicit
+  ``vectorized`` request and silently under ``auto`` — and the fallback
+  run is trace-identical to a plain python run;
+* a Session with a stall-observing probe rebuilds a vectorized simulation
+  on the python backend (or refuses an adopted one).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import warnings
+
+import pytest
+
+import repro.kernel as kernel
+from repro.config import RouterConfig, RoutingConfig, SimulationConfig, TrafficConfig
+from repro.core import vc_selection
+from repro.experiments.runner import TINY
+from repro.experiments.topologies import minimal_feasible_arrangement
+from repro.probes import AllocStallProbe
+from repro.session import Session
+from repro.simulation import Simulation
+
+
+def _config(algorithm="min", buffer_organization="static",
+            vc_sel="jsq") -> SimulationConfig:
+    network = dataclasses.replace(
+        TINY.network_for("dragonfly"), local_latency=4, global_latency=12
+    )
+    return SimulationConfig(
+        network=network,
+        router=RouterConfig(buffer_organization=buffer_organization),
+        routing=RoutingConfig(
+            algorithm=algorithm, vc_policy="baseline", vc_selection=vc_sel
+        ),
+        arrangement=minimal_feasible_arrangement(network, algorithm, "baseline"),
+        traffic=TrafficConfig(pattern="uniform", load=0.5),
+        warmup_cycles=60,
+        measure_cycles=120,
+        seed=7,
+    )
+
+
+def _trace_and_result(sim: Simulation):
+    trace: list = []
+    sim.traffic.delivery_hook = (
+        lambda packet, cycle: trace.append(
+            (packet.pid, packet.src_node, packet.dst_node, packet.hops, cycle)
+        )
+    )
+    result = dataclasses.asdict(sim.run())
+    return trace, result
+
+
+_HAS_NUMPY = kernel.numpy_or_none() is not None
+needs_numpy = pytest.mark.skipif(
+    not _HAS_NUMPY, reason="vectorized backend needs numpy"
+)
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError, match="backend must be one of"):
+        Simulation(_config(), backend="jit")
+
+
+def test_session_backend_requires_config():
+    sim = Simulation(_config())
+    with pytest.raises(ValueError, match="only valid with config"):
+        Session(simulation=sim, backend="python")
+
+
+def test_vectorized_without_numpy_raises_naming_fast_extra(monkeypatch):
+    # None in sys.modules makes ``import numpy`` raise ImportError even when
+    # numpy is installed, so this leg runs identically on both CI legs.
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    with pytest.raises(ImportError, match=r"\[fast\]"):
+        Simulation(_config(), backend="vectorized")
+
+
+def test_auto_without_numpy_degrades_with_single_warning(monkeypatch):
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    monkeypatch.setattr(kernel, "_warned_auto_no_numpy", False)
+    with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+        sim = Simulation(_config(), backend="auto")
+    assert sim.backend_active == "python"
+    assert sim.backend_fallback_reason == "numpy not installed"
+    # Second construction in the same process must stay silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = Simulation(_config(), backend="auto")
+    assert again.backend_active == "python"
+
+
+@needs_numpy
+@pytest.mark.parametrize("algorithm,buffers,reason_fragment", [
+    ("par", "static", "routing algorithm"),
+    ("min", "damq", "buffer organization"),
+])
+def test_vectorized_unsupported_config_falls_back(algorithm, buffers,
+                                                  reason_fragment):
+    config = _config(algorithm=algorithm, buffer_organization=buffers)
+    with pytest.warns(RuntimeWarning, match="unsupported"):
+        sim = Simulation(config, backend="vectorized")
+    assert sim.backend_active == "python"
+    assert reason_fragment in sim.backend_fallback_reason
+    # auto degrades silently for unsupported configurations.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        auto_sim = Simulation(config, backend="auto")
+    assert auto_sim.backend_active == "python"
+
+
+class _TracingJsq(vc_selection.JoinShortestQueue):
+    """Subclass whose ``choose`` the kernel cannot assume anything about."""
+
+    def choose(self, candidates, free_list, rng):
+        return super().choose(candidates, free_list, rng)
+
+
+@needs_numpy
+def test_subclassed_selection_falls_back_trace_identical(monkeypatch):
+    monkeypatch.setitem(vc_selection._SELECTIONS, "jsq", _TracingJsq)
+    config = _config(vc_sel="jsq")
+
+    python_sim = Simulation(config)
+    assert isinstance(python_sim.selection, _TracingJsq)
+    python_trace, python_result = _trace_and_result(python_sim)
+    assert python_trace, "degenerate config: no deliveries"
+
+    with pytest.warns(RuntimeWarning, match="subclassed VC selection"):
+        fallback_sim = Simulation(config, backend="vectorized")
+    assert fallback_sim.backend_active == "python"
+    assert "subclassed VC selection" in fallback_sim.backend_fallback_reason
+    fallback_trace, fallback_result = _trace_and_result(fallback_sim)
+    assert fallback_trace == python_trace
+    assert fallback_result == python_result
+
+
+@needs_numpy
+def test_session_rebuilds_python_backend_for_stall_probe():
+    config = _config()
+    with pytest.warns(RuntimeWarning, match="on_alloc_stall"):
+        session = Session(config, probes=[AllocStallProbe()],
+                          backend="vectorized")
+    assert session.sim.backend_active == "python"
+
+    plain = Session(config, probes=[AllocStallProbe()])
+    for s in (session, plain):
+        s.warmup()
+        s.measure()
+    assert session.record().summary == plain.record().summary
+
+
+@needs_numpy
+def test_adopted_session_refuses_stall_probe():
+    sim = Simulation(_config(), backend="vectorized")
+    assert sim.backend_active == "vectorized"
+    session = Session(simulation=sim)
+    with pytest.raises(RuntimeError, match="rebuild the adopted Simulation"):
+        session.attach(AllocStallProbe())
