@@ -4,6 +4,9 @@ Run directly to (re)generate ``BENCH_engine.json`` at the repository root::
 
     PYTHONPATH=src python benchmarks/bench_engine.py            # full report
     PYTHONPATH=src python benchmarks/bench_engine.py --profile  # + cProfile
+    PYTHONPATH=src python benchmarks/bench_engine.py --mem      # construction
+                                                # memory (peak RSS + tracemalloc
+                                                # deltas, dense vs lazy tables)
 
 Measurements establishing the perf trajectory of the execution core:
 
@@ -167,6 +170,75 @@ def _interleaved_backend_cps(
             sim.run()
             best[backend] = min(best[backend], time.perf_counter() - start)
     return cycles / best["python"], cycles / best["vectorized"]
+
+
+def _peak_rss_bytes() -> int:
+    """Peak RSS of this process (ru_maxrss is KB on Linux, bytes on macOS)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def measure_construction_memory(config, route_table_mode: str = "auto") -> dict:
+    """Peak RSS and tracemalloc deltas for network + route-table construction.
+
+    Used by ``--mem`` here and by ``benchmarks/bench_scale.py`` (which records
+    the numbers in ``BENCH_scale.json``).  tracemalloc attributes allocations
+    to the two construction stages; peak RSS is process-wide and cumulative,
+    so compare it across *separate* runs, not across stages in one run.
+    """
+    import tracemalloc
+
+    from repro.simulation import build_topology
+
+    tracemalloc.start()
+    base, _ = tracemalloc.get_traced_memory()
+    start = time.perf_counter()
+    topology = build_topology(config)
+    network_s = time.perf_counter() - start
+    after_network, _ = tracemalloc.get_traced_memory()
+
+    from repro.routing.route_table import make_route_table
+
+    start = time.perf_counter()
+    table = make_route_table(topology, route_table_mode)
+    table_s = time.perf_counter() - start
+    after_table, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    stats = table.table_stats()
+    return {
+        "topology": config.network.topology,
+        "routers": topology.num_routers,
+        "nodes": topology.num_nodes,
+        "route_table_mode": stats["mode"],
+        "network_build_s": round(network_s, 3),
+        "network_tracemalloc_bytes": after_network - base,
+        "route_table_build_s": round(table_s, 3),
+        "route_table_tracemalloc_bytes": after_table - after_network,
+        "route_state_bytes": table.route_state_bytes(),
+        "route_state_bytes_per_router": round(
+            table.route_state_bytes() / topology.num_routers
+        ),
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def report_memory() -> None:
+    """Print construction-memory reports for the standard bench configs."""
+    tiny = base_config(TINY, pattern="uniform", seed=7).with_load(0.2)
+    small = base_config(SMALL, pattern="uniform", seed=7).with_load(0.2)
+    for label, config in (("tiny", tiny), ("small", small)):
+        for mode in ("dense", "lazy"):
+            mem = measure_construction_memory(config, mode)
+            print(f"[{label}/{mode}] routers={mem['routers']} "
+                  f"network={mem['network_tracemalloc_bytes']}B "
+                  f"route_table={mem['route_table_tracemalloc_bytes']}B "
+                  f"route_state={mem['route_state_bytes']}B "
+                  f"({mem['route_state_bytes_per_router']}B/router) "
+                  f"build={mem['route_table_build_s']}s "
+                  f"peak_rss={mem['peak_rss_bytes'] / 1e6:.1f}MB")
 
 
 def run_benchmark() -> dict:
@@ -333,6 +405,9 @@ def main() -> None:
         return
     if "--check-regression" in sys.argv:
         sys.exit(check_regression())
+    if "--mem" in sys.argv:
+        report_memory()
+        return
     report = run_benchmark()
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     for key in ("uniform_load02_cps", "tiny_run_cps", "tiny_load09_cps",

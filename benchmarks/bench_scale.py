@@ -1,0 +1,132 @@
+"""Scale benchmark: route-table construction cost and memory vs network size.
+
+Run directly to (re)generate ``BENCH_scale.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick   # skip system scale
+
+Each entry measures, for one (scale, topology, route-table mode) triple:
+
+* ``network_build_s`` / ``route_table_build_s`` — construction wall time,
+  with tracemalloc deltas attributing allocated bytes to each stage;
+* ``route_state_bytes`` / ``route_state_bytes_per_router`` — resident
+  route-table state.  Dense tables are Theta(n^2) total (linear per router,
+  growing with n); lazy tables are bounded by the LRU capacity, so
+  bytes/router *falls* with n once capacity < n — the sub-quadratic claim
+  this file exists to document;
+* ``warm_cps`` — cycles/sec of a short warmup+measure session (offered
+  load 0.2, or 0.1 at system scale, matching the ``system`` experiment
+  registry; cold route-column faults included, so this is the honest
+  first-session number);
+* ``peak_rss_bytes`` — process peak RSS.  Every measurement runs in its own
+  subprocess so peaks are per-configuration, not cumulative.
+
+The ``system`` scale is the 10^5-endpoint target of ROADMAP item 4(c): an
+h=13 Dragonfly (339 groups, 8,814 routers, 114,582 nodes).  Dense mode is
+deliberately not measured there — a dense table alone would be ~1 GB and
+take minutes to fill; that infeasibility is the point of the lazy mode.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: (label, topology, params, modes, warmup, measure, load) per benchmarked
+#: point.  Scales mirror the experiment registry (tiny/large/system Dragonfly)
+#: plus a 10^5-endpoint Megafly to show the lazy path is not
+#: Dragonfly-specific.
+POINTS = [
+    ("tiny", "dragonfly", {"h": 2}, ("dense", "lazy"), 300, 600, 0.2),
+    ("large", "dragonfly", {"h": 6}, ("dense", "lazy"), 200, 400, 0.2),
+    ("system", "dragonfly", {"h": 13}, ("lazy",), 50, 100, 0.1),
+    ("system_megafly", "megafly",
+     {"spines": 18, "leaves": 18, "h": 18, "nodes_per_router": 18},
+     ("lazy",), 50, 100, 0.1),
+]
+
+
+def measure_point(topology: str, params: dict, mode: str,
+                  warmup: int, measure: int, load: float) -> dict:
+    """Worker-side measurement (runs in a fresh subprocess for clean RSS)."""
+    import dataclasses
+
+    from bench_engine import _peak_rss_bytes, measure_construction_memory
+    from repro.config import NetworkConfig, SimulationConfig
+    from repro.session import Session
+    from repro.simulation import Simulation
+
+    config = dataclasses.replace(
+        SimulationConfig(network=NetworkConfig(topology=topology,
+                                               params=params)),
+        warmup_cycles=warmup, measure_cycles=measure,
+    ).with_load(load)
+
+    entry = measure_construction_memory(config, mode)
+
+    sim = Simulation(config, route_table_mode=mode)
+    session = Session(simulation=sim)
+    start = time.perf_counter()
+    session.warmup()
+    session.measure()
+    elapsed = time.perf_counter() - start
+    entry.update({
+        "warmup_cycles": warmup,
+        "measure_cycles": measure,
+        "load": load,
+        "warm_cps": round((warmup + measure) / elapsed, 1),
+        "table_stats": sim.route_table.table_stats(),
+        "peak_rss_bytes": _peak_rss_bytes(),
+    })
+    return entry
+
+
+def run_sweep(quick: bool = False) -> dict:
+    report: dict = {}
+    for label, topology, params, modes, warmup, measure, load in POINTS:
+        if quick and label.startswith("system"):
+            continue
+        for mode in modes:
+            key = f"{label}_{mode}"
+            print(f"measuring {key} ...", flush=True)
+            spec = json.dumps({"topology": topology, "params": params,
+                               "mode": mode, "warmup": warmup,
+                               "measure": measure, "load": load})
+            proc = subprocess.run(
+                [sys.executable, __file__, "--worker", spec],
+                capture_output=True, text=True, check=True,
+            )
+            report[key] = json.loads(proc.stdout)
+            entry = report[key]
+            print(f"  routers={entry['routers']} nodes={entry['nodes']} "
+                  f"table_build={entry['route_table_build_s']}s "
+                  f"route_state={entry['route_state_bytes_per_router']}B/router "
+                  f"warm_cps={entry['warm_cps']} "
+                  f"peak_rss={entry['peak_rss_bytes'] / 1e6:.0f}MB")
+    return report
+
+
+def main() -> None:
+    if "--worker" in sys.argv:
+        spec = json.loads(sys.argv[sys.argv.index("--worker") + 1])
+        entry = measure_point(spec["topology"], spec["params"], spec["mode"],
+                              spec["warmup"], spec["measure"], spec["load"])
+        print(json.dumps(entry))
+        return
+    report = run_sweep(quick="--quick" in sys.argv)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,7 +74,7 @@ from .probes import (
     make_probes,
 )
 from .record import RunRecord
-from .routing import RouteTable
+from .routing import LazyRouteTable, RouteTable, make_route_table
 from .session import Session
 from .simulation import (
     Simulation,
@@ -150,4 +150,6 @@ __all__ = [
     "TOPOLOGIES",
     "register_topology",
     "RouteTable",
+    "LazyRouteTable",
+    "make_route_table",
 ]

@@ -19,7 +19,13 @@ from typing import Sequence
 
 
 class BufferOrganization(ABC):
-    """Space accounting for the VCs of one port."""
+    """Space accounting for the VCs of one port.
+
+    Slotted (as are the stock subclasses): two instances exist per port —
+    the buffer proper and the upstream credit mirror — so per-instance
+    dicts are measurable at 10^5-endpoint scale."""
+
+    __slots__ = ("num_vcs", "_free_slab", "_free_base")
 
     def __init__(self, num_vcs: int) -> None:
         if num_vcs < 1:

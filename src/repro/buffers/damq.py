@@ -23,6 +23,8 @@ from .base import BufferOrganization
 class DamqBuffer(BufferOrganization):
     """Shared-pool buffer with optional per-VC private reservation.
 
+    .. note:: slotted; see :class:`BufferOrganization`.
+
     Parameters
     ----------
     num_vcs:
@@ -33,6 +35,9 @@ class DamqBuffer(BufferOrganization):
         Phits privately reserved for each VC (a single value or one per VC).
         ``sum(private) <= total_capacity``; the remainder is the shared pool.
     """
+
+    __slots__ = ("_total_capacity", "_private", "_shared_capacity",
+                 "_occupancy", "_shared_used")
 
     def __init__(
         self,

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence, Tuple
 
 from .base import BufferOrganization
+
+#: Interned per-VC capacity vectors.  A network instantiates one buffer per
+#: port (hundreds of thousands at system scale) but only a handful of distinct
+#: capacity shapes exist (local vs global ports, request vs reply).  The
+#: vector is never mutated after ``__init__`` — allocate/release only touch
+#: ``_occupancy`` — so every buffer with the same shape can share one tuple
+#: instead of carrying a private list (~90 B each).
+_CAPACITY_MEMO: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
 
 class StaticallyPartitionedBuffer(BufferOrganization):
@@ -19,6 +27,8 @@ class StaticallyPartitionedBuffer(BufferOrganization):
         VC.
     """
 
+    __slots__ = ("_capacity", "_occupancy")
+
     def __init__(self, num_vcs: int, capacity_per_vc: int | Sequence[int]) -> None:
         super().__init__(num_vcs)
         if isinstance(capacity_per_vc, int):
@@ -32,7 +42,11 @@ class StaticallyPartitionedBuffer(BufferOrganization):
         for cap in capacities:
             if cap < 1:
                 raise ValueError(f"per-VC capacity must be >= 1 phit, got {cap}")
-        self._capacity = capacities
+        key = tuple(capacities)
+        shared = _CAPACITY_MEMO.get(key)
+        if shared is None:
+            shared = _CAPACITY_MEMO[key] = key
+        self._capacity = shared
         self._occupancy = [0] * num_vcs
 
     # -- queries -----------------------------------------------------------

@@ -17,9 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class SplitOccupancy:
-    """Phit occupancy split by routing class (minimal vs non-minimal)."""
+    """Phit occupancy split by routing class (minimal vs non-minimal).
+
+    Slotted: one instance exists per (port, VC) pair, which at
+    10^5-endpoint scale means millions of them."""
 
     minimal: int = 0
     nonminimal: int = 0
@@ -57,7 +60,7 @@ class SplitOccupancy:
         return self.minimal if minimal_only else self.total
 
 
-@dataclass
+@dataclass(slots=True)
 class PortOccupancyLedger:
     """Per-VC split occupancy plus the port-level aggregate.
 

@@ -183,6 +183,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         converge=converge,
         verbose=args.verbose,
         backend=args.backend,
+        route_table_mode=args.route_table,
     ):
         for name in args.figures:
             entry = REGISTRY[name]
@@ -265,6 +266,18 @@ def cmd_inspect(args: argparse.Namespace) -> int:
                     "EXTRAPOLATED from load "
                     f"{provenance.get('extrapolated_from_load')}"
                 )
+            route_table = provenance.get("route_table")
+            if route_table:
+                mode = route_table.get("mode", "?")
+                if mode == "lazy":
+                    parts.append(
+                        f"route-table={mode} "
+                        f"(built {route_table.get('columns_built')}, "
+                        f"hits {route_table.get('hits')}, "
+                        f"evictions {route_table.get('evictions')})"
+                    )
+                else:
+                    parts.append(f"route-table={mode}")
             convergence = provenance.get("convergence")
             if convergence:
                 state = "converged" if convergence.get("converged") else "unconverged"
@@ -274,6 +287,9 @@ def cmd_inspect(args: argparse.Namespace) -> int:
                     f"{convergence.get('budget_cycles')} budget cycles)"
                 )
             print(f"  provenance: {', '.join(parts)}")
+            if args.verbose and route_table:
+                stats = ", ".join(f"{k}={v}" for k, v in sorted(route_table.items()))
+                print(f"  route-table: {stats}")
         if record.channels:
             digests = ", ".join(
                 _channel_digest(name, record.channels[name])
@@ -355,6 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "extra; bit-identical results), or auto "
                           "(vectorized when available); non-python backends "
                           "get their own result-store keys")
+    run.add_argument("--route-table", default="auto", dest="route_table",
+                     choices=("auto", "dense", "lazy"),
+                     help="route-table construction mode: auto (dense below "
+                          "the size threshold, lazy above; default), dense "
+                          "(full precomputed table), or lazy (per-destination "
+                          "columns in a bounded LRU); answers are identical, "
+                          "so cache keys are unaffected")
     run.add_argument("--probes", default=None, metavar="P1,P2",
                      help="attach registry probes to every executed point and "
                           "persist their telemetry channels alongside the "

@@ -200,6 +200,10 @@ class Job:
     #: the cache key (a non-python backend hashes into ``key``) but not of
     #: ``network_key`` — construction artifacts are backend-independent.
     backend: str = "python"
+    #: route-table front-end ("auto"/"dense"/"lazy"); an execution strategy
+    #: with identical answers, so it is part of *neither* cache key —
+    #: stored results and construction artifacts are shared across modes.
+    route_table_mode: str = "auto"
 
 
 def store_key(job: Job) -> str:
@@ -461,13 +465,24 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: str, config: SimulationConfig) -> SimulationArtifacts:
+    def get(
+        self,
+        key: str,
+        config: SimulationConfig,
+        route_table_mode: str = "auto",
+    ) -> SimulationArtifacts:
+        """Artifacts for ``key``, built under ``route_table_mode`` on a miss.
+
+        The cache key stays mode-free on purpose: every route-table mode
+        answers identically, so artifacts built under one mode are valid
+        (and cheaper than a rebuild) for jobs requesting another.
+        """
         artifacts = self._entries.get(key)
         if artifacts is not None:
             self.hits += 1
             return artifacts
         self.misses += 1
-        artifacts = build_artifacts(config, key)
+        artifacts = build_artifacts(config, key, route_table_mode=route_table_mode)
         self._entries.put(key, artifacts)
         return artifacts
 
@@ -500,7 +515,8 @@ def _execute_job(job: Job) -> Tuple[str, RunRecord]:
     from ..simulation import Simulation
 
     artifacts = _WORKER_ARTIFACTS.get(
-        job.network_key or network_key(job.config), job.config
+        job.network_key or network_key(job.config), job.config,
+        route_table_mode=job.route_table_mode,
     )
     probes = make_probes(job.probes)
     backend = job.backend
@@ -862,6 +878,9 @@ class OrchestrationContext:
     #: simulation backend applied to jobs still carrying the python default
     #: (job keys are recomputed so stores never mix backends).
     backend: str = "python"
+    #: route-table front-end applied to jobs still carrying the auto
+    #: default (never part of cache keys — modes answer identically).
+    route_table_mode: str = "auto"
 
 
 _CONTEXT_STACK: List[OrchestrationContext] = [OrchestrationContext()]
@@ -881,6 +900,7 @@ def orchestration(
     converge: Optional[ConvergenceSettings] = None,
     verbose: bool = False,
     backend: str = "python",
+    route_table_mode: str = "auto",
 ) -> Iterator[OrchestrationContext]:
     """Install parallel/caching defaults for every sweep run inside the block.
 
@@ -892,14 +912,23 @@ def orchestration(
     execution modes documented on :func:`run_jobs`.  ``backend`` selects the
     simulation stepping backend (:mod:`repro.kernel`) for every job that
     does not pin its own; non-python backends rewrite job cache keys.
+    ``route_table_mode`` selects the route-table front-end
+    (:func:`~repro.routing.route_table.make_route_table`) the same way;
+    being answer-identical, it never touches cache keys.
     """
     if isinstance(store, str):
         store = ResultStore(store)
     from ..kernel import VALID_BACKENDS
+    from ..routing.route_table import ROUTE_TABLE_MODES
 
     if backend not in VALID_BACKENDS:
         raise ValueError(
             f"backend must be one of {VALID_BACKENDS}, got {backend!r}"
+        )
+    if route_table_mode not in ROUTE_TABLE_MODES:
+        raise ValueError(
+            f"route_table_mode must be one of {ROUTE_TABLE_MODES}, "
+            f"got {route_table_mode!r}"
         )
     context = OrchestrationContext(
         workers=max(1, int(workers)),
@@ -910,6 +939,7 @@ def orchestration(
         converge=converge,
         verbose=verbose,
         backend=backend,
+        route_table_mode=route_table_mode,
     )
     _CONTEXT_STACK.append(context)
     try:
@@ -1048,6 +1078,9 @@ def run_jobs(
                 backend=context.backend,
                 key=config_key(job.config, backend=context.backend),
             )
+        if job.route_table_mode == "auto" and context.route_table_mode != "auto":
+            # Answer-identical execution strategy: no key changes.
+            job = replace(job, route_table_mode=context.route_table_mode)
         unique.append(job)
 
     stats = JobRunStats(results={})

@@ -110,7 +110,42 @@ PAPER = ExperimentScale(
     loads=tuple(round(0.05 * i, 2) for i in range(1, 21)),
 )
 
-SCALES: Dict[str, ExperimentScale] = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+#: Mid-size scale: an h=6 Dragonfly (876 routers, 5,256 nodes).  Large enough
+#: that route-table layout matters, small enough for interactive sweeps.
+LARGE = ExperimentScale(
+    name="large",
+    h=6,
+    warmup_cycles=500,
+    measure_cycles=1000,
+    seeds=1,
+    loads=(0.2, 0.5, 0.8),
+)
+
+#: System scale: an h=13 Dragonfly (339 groups, 8,814 routers, 114,582
+#: nodes — a 10^5-endpoint machine).  Dense route tables at this size cost
+#: ~1 GB; the "auto" route-table mode switches to lazy per-destination
+#: columns so construction stays fast and memory bounded.  Cycle counts are
+#: deliberately short: this scale exists for construction/warmup smoke runs
+#: (see ``benchmarks/bench_scale.py`` and the CI ``scale-smoke`` job), not
+#: for full sweeps under pure CPython.
+SYSTEM = ExperimentScale(
+    name="system",
+    h=13,
+    warmup_cycles=50,
+    measure_cycles=100,
+    seeds=1,
+    # Light load: the smoke run checks construction + steady stepping, and
+    # in-flight packet state (not route tables) dominates RSS at this scale.
+    loads=(0.1,),
+)
+
+SCALES: Dict[str, ExperimentScale] = {
+    "tiny": TINY,
+    "small": SMALL,
+    "paper": PAPER,
+    "large": LARGE,
+    "system": SYSTEM,
+}
 
 
 def get_scale(scale: str | ExperimentScale) -> ExperimentScale:

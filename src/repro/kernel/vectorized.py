@@ -343,6 +343,8 @@ class VectorizedKernel:
             packet.current_vc = vc
             ready = now + pipeline_latency
             queue = queues[vc]
+            if queue is None:
+                queue = queues[vc] = []
             queue.append((packet, ready))
             resident = hot[hb] + 1
             hot[hb] = resident
@@ -431,7 +433,7 @@ class VectorizedKernel:
                 out_state, ob, pending = self._row_fix[row]
                 occupancy = out_state[ob + 3]
                 while pending and pending[0][0] <= now:
-                    occupancy -= pending.popleft()[1]
+                    occupancy -= pending.pop(0)[1]
                 out_state[ob + 3] = occupancy
                 self.occ_x[row] = occupancy
                 release_head[row] = pending[0][0] if pending else BIG
@@ -695,7 +697,7 @@ class VectorizedKernel:
                 # Dead branch after eager maturing, kept for safety; keep
                 # the mirrors in sync if it ever fires.
                 while pending and pending[0][0] <= now:
-                    occupancy -= pending.popleft()[1]
+                    occupancy -= pending.pop(0)[1]
                 out_state[ob + 3] = occupancy
                 row = meta.out_row_base + ob // 4
                 self.occ_x[row] = occupancy
@@ -795,7 +797,7 @@ class VectorizedKernel:
             xbar_time = 1
         # -- inlined InputPort.pop (identical to the scalar executor).
         queue = port.queues[input_vc]
-        queue.popleft()
+        queue.pop(0)
         port.head_plans[input_vc] = None
         port._buf_release(input_vc, size)
         hot = port._hot

@@ -26,13 +26,20 @@ if TYPE_CHECKING:  # pragma: no cover
 class Link:
     """Unidirectional channel between an output port and an input port."""
 
+    # At 10^5-endpoint scale a network holds hundreds of thousands of links;
+    # slots drop the per-instance dict (~300 bytes each).
+    __slots__ = (
+        "engine", "latency", "link_type", "_deliver", "_name", "busy_until",
+        "phits_transmitted", "probe_hook",
+    )
+
     def __init__(
         self,
         engine: "Engine",
         latency: int,
         link_type: LinkType,
         deliver: Callable[[Packet, int, int], None],
-        name: str = "",
+        name: "str | tuple" = "",
     ) -> None:
         if latency < 1:
             raise ValueError("link latency must be >= 1 cycle")
@@ -41,7 +48,10 @@ class Link:
         self.link_type = link_type
         #: callback ``deliver(packet, vc, now)`` at the downstream input port.
         self._deliver = deliver
-        self.name = name
+        #: either the display string or a deferred (src, out_port, dst,
+        #: in_port) tuple formatted on first read — building hundreds of
+        #: thousands of f-strings up front is measurable at system scale.
+        self._name = name
         #: cycle at which the tail of the last packet leaves the upstream side.
         self.busy_until = 0
         #: accounting for link-utilization statistics.
@@ -49,6 +59,13 @@ class Link:
         #: probe dispatch ``hook(link, packet, vc, now)``; None (the default)
         #: keeps the no-probe transmit path free of any dispatch work.
         self.probe_hook = None
+
+    @property
+    def name(self) -> str:
+        raw = self._name
+        if type(raw) is tuple:
+            raw = self._name = "%d:%d->%d:%d" % raw
+        return raw
 
     def idle_at(self, now: int) -> bool:
         """Can a new packet start serializing onto the link at ``now``?"""
@@ -78,6 +95,8 @@ class Link:
 
 class CreditChannel:
     """Reverse channel carrying credit returns to an upstream credit tracker."""
+
+    __slots__ = ("engine", "latency", "_sink", "_deliver")
 
     def __init__(self, engine: "Engine", latency: int) -> None:
         if latency < 1:

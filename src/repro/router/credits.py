@@ -29,6 +29,8 @@ class CreditTracker:
     check-for-check identical to them.
     """
 
+    __slots__ = ("mirror", "ledger")
+
     def __init__(self, mirror: BufferOrganization) -> None:
         self.mirror = mirror
         self.ledger = PortOccupancyLedger(mirror.num_vcs)

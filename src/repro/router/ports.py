@@ -23,8 +23,7 @@ read-only properties.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List, Optional
+from typing import List, Optional
 
 from ..buffers.base import BufferOrganization
 from ..core.link_types import LinkType, MessageClass
@@ -45,6 +44,20 @@ OUT_XBAR_BUSY = 0
 OUT_GRANT_STAMP = 1
 OUT_GRANTS = 2
 OUT_BUF_OCC = 3
+
+#: shared round-robin visit orders keyed by VC count (every port with the
+#: same ``num_vcs`` scans VCs in the same precomputed orders).
+_RR_ORDERS: dict[int, tuple[tuple[int, ...], ...]] = {}
+
+
+def _rr_orders(num_vcs: int) -> tuple[tuple[int, ...], ...]:
+    orders = _RR_ORDERS.get(num_vcs)
+    if orders is None:
+        orders = _RR_ORDERS[num_vcs] = tuple(
+            tuple((start + offset) % num_vcs for offset in range(num_vcs))
+            for start in range(num_vcs)
+        )
+    return orders
 
 
 class InputPort:
@@ -73,14 +86,23 @@ class InputPort:
         self.buffer = buffer
         self.pipeline_latency = pipeline_latency
         self.is_injection = is_injection
-        #: per-VC FIFO of (packet, ready_cycle) pairs.
-        self.queues: list[Deque[tuple[Packet, int]]] = [deque() for _ in range(num_vcs)]
+        #: per-VC FIFO of (packet, ready_cycle) pairs.  Slots start as None
+        #: and get their queue on first arrival — at 10^5-endpoint scale
+        #: most of the millions of VC queues never see a packet during
+        #: short runs.  Consumers already treat an empty queue as falsy,
+        #: which None satisfies; only the arrival paths (here and the two
+        #: fused receive clones) create.  The queue is a plain list, not a
+        #: deque: its depth is bounded by the VC's buffer capacity in
+        #: packets (small), ``pop(0)`` on a short list is cheap, and an
+        #: empty deque costs ~11x the memory of an empty list — once
+        #: steady-state traffic has touched every (port, VC) pair, that
+        #: difference is hundreds of MB at system scale.
+        self.queues: list[Optional[List[tuple[Packet, int]]]] = [None] * num_vcs
         #: precomputed round-robin visit orders: ``rr_orders[p]`` is the VC
         #: scan sequence starting at pointer ``p`` (allocator inner loop).
-        self.rr_orders: list[tuple[int, ...]] = [
-            tuple((start + offset) % num_vcs for offset in range(num_vcs))
-            for start in range(num_vcs)
-        ]
+        #: Identical for every port with the same VC count, so shared
+        #: process-wide instead of rebuilt per port.
+        self.rr_orders: tuple[tuple[int, ...], ...] = _rr_orders(num_vcs)
         #: reverse channel returning credits to the upstream output port.
         self.credit_channel: Optional[CreditChannel] = None
         #: per-VC cached forwarding plan of the current head packet, computed
@@ -127,7 +149,10 @@ class InputPort:
         self._buf_allocate(vc, packet.size_phits)
         packet.current_vc = vc
         ready = now + self.pipeline_latency
-        self.queues[vc].append((packet, ready))
+        queue = self.queues[vc]
+        if queue is None:
+            queue = self.queues[vc] = []
+        queue.append((packet, ready))
         hot = self._hot
         base = self._hb
         resident = hot[base] + 1
@@ -151,7 +176,7 @@ class InputPort:
 
     def pop(self, vc: int, now: int, minimal: bool) -> Packet:
         """Remove the head packet of ``vc``, free its space and return credits."""
-        packet, _ = self.queues[vc].popleft()
+        packet, _ = self.queues[vc].pop(0)
         self.head_plans[vc] = None
         self._buf_release(vc, packet.size_phits)
         hot = self._hot
@@ -202,7 +227,11 @@ class OutputPort:
         self.output_buffer_capacity = output_buffer_phits
         #: (cycle, phits) reclamations applied lazily by buffer_space_for —
         #: cheaper than scheduling one engine event per transmitted packet.
-        self._pending_releases: Deque[tuple[int, int]] = deque()
+        #: A plain list, not a deque: it holds at most the few transmissions
+        #: in flight on one link, and an empty deque costs ~11x the memory
+        #: of an empty list — measurable with one instance per output port
+        #: at 10^5-endpoint scale.
+        self._pending_releases: list[tuple[int, int]] = []
         self.link: Optional[Link] = None
         #: utilization accounting.
         self.packets_forwarded = 0
@@ -255,7 +284,7 @@ class OutputPort:
         if now is not None:
             pending = self._pending_releases
             while pending and pending[0][0] <= now:
-                hot[index] -= pending.popleft()[1]
+                hot[index] -= pending.pop(0)[1]
         return hot[index] + phits <= self.output_buffer_capacity
 
     def schedule_release(self, cycle: int, phits: int) -> None:

@@ -41,8 +41,7 @@ checks this against :class:`repro.router.reference.ReferenceRouter`).
 from __future__ import annotations
 
 import random
-from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..buffers.base import BufferOrganization
 from ..buffers.damq import DamqBuffer
@@ -196,14 +195,19 @@ class Router:
                     is_injection=True,
                 )
             )
-        self.ejection_ports: List[Dict[MessageClass, EjectionPort]] = [
-            {
-                MessageClass.REQUEST: EjectionPort(self.nodes[i], MessageClass.REQUEST),
-                MessageClass.REPLY: EjectionPort(self.nodes[i], MessageClass.REPLY),
-            }
+        #: per-node ejection ports indexed by ``MessageClass`` value
+        #: (REQUEST=0, REPLY=1) — a list, not a dict, because one exists per
+        #: node and dicts carry per-instance hash-table overhead.
+        self.ejection_ports: List[List[EjectionPort]] = [
+            [
+                EjectionPort(self.nodes[i], MessageClass.REQUEST),
+                EjectionPort(self.nodes[i], MessageClass.REPLY),
+            ]
             for i in range(p)
         ]
-        self.source_queues: List[Deque[Packet]] = [deque() for _ in range(p)]
+        #: per-node injection backlogs — plain lists (see InputPort.queues
+        #: for the deque-vs-list memory rationale; one exists per node).
+        self.source_queues: List[List[Packet]] = [[] for _ in range(p)]
         self.injection_busy_until: List[int] = [0] * p
         #: earliest cycle any source-queue head could enter an injection
         #: buffer (0 = scan needed; reset by enqueue_source).  Purely a
@@ -239,7 +243,7 @@ class Router:
         self._out_base: List[int] = [-1] * lookup
         self._cfree_base: List[int] = [-1] * lookup
         self._out_cap: List[int] = [0] * lookup
-        self._out_pending: List[Optional[Deque]] = [None] * lookup
+        self._out_pending: List[Optional[list]] = [None] * lookup
         self._out_by_port: List[Optional[OutputPort]] = [None] * lookup
         self._input_by_port: List[Optional[InputPort]] = [None] * lookup
         self._credit_free: List[int] = [0] * sum(
@@ -471,7 +475,10 @@ class Router:
                 occupancy[vc] = occ
                 packet.current_vc = vc
                 ready = now + pipeline_latency
-                queues[vc].append((packet, ready))
+                queue = queues[vc]
+                if queue is None:
+                    queue = queues[vc] = []
+                queue.append((packet, ready))
                 resident = hot[hb] + 1
                 hot[hb] = resident
                 if resident == 1 or ready < hot[hb + 1]:
@@ -730,7 +737,7 @@ class Router:
                 if now + 1 < gate:
                     gate = now + 1
                 continue
-            queue.popleft()
+            queue.pop(0)
             self._source_backlog -= 1
             # The packet finishes serializing from the node after size cycles.
             self.injection_ports[local].receive(packet, best_vc, now + size)
@@ -892,7 +899,7 @@ class Router:
                                     # Output-buffer reclamations are lazy,
                                     # not wake events.
                                     while pending and pending[0][0] <= now:
-                                        occupancy -= pending.popleft()[1]
+                                        occupancy -= pending.pop(0)[1]
                                     out_state[ob + 3] = occupancy
                                 if occupancy + size > cap:
                                     # Space can only reappear when the oldest
@@ -1066,7 +1073,7 @@ class Router:
             # -- inlined InputPort.pop (returns credits upstream for network
             # ports; the credit is tagged with the class the space was
             # debited under, i.e. *before* on_hop_taken may retag it).
-            port.queues[input_vc].popleft()
+            port.queues[input_vc].pop(0)
             port.head_plans[input_vc] = None
             port._buf_release(input_vc, size)
             hot = port._hot

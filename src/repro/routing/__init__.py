@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from ..config import RoutingConfig
 from ..core.arrangement import VcArrangement
@@ -14,7 +13,7 @@ from .base import CandidateHop, EjectionRequest, Plan, RoutingAlgorithm
 from .minimal import MinimalRouting
 from .par import ProgressiveAdaptiveRouting
 from .piggyback import PiggybackRouting
-from .route_table import RouteTable
+from .route_table import LazyRouteTable, RouteTable, make_route_table
 from .valiant import ValiantRouting
 
 _ALGORITHMS = {
@@ -32,12 +31,13 @@ def make_routing(
     config: RoutingConfig,
     arrangement: VcArrangement,
     rng: random.Random,
-    route_table: Optional[RouteTable] = None,
+    route_table=None,
 ) -> RoutingAlgorithm:
     """Instantiate the routing algorithm named in ``config.algorithm``.
 
-    ``route_table`` shares one precomputed :class:`RouteTable` across
-    consumers; when omitted the algorithm builds its own.
+    ``route_table`` shares one precomputed route table (:class:`RouteTable`
+    or :class:`LazyRouteTable`) across consumers; when omitted the algorithm
+    builds its own via :func:`make_route_table`.
     """
     try:
         cls = _ALGORITHMS[config.algorithm]
@@ -56,5 +56,7 @@ __all__ = [
     "ProgressiveAdaptiveRouting",
     "PiggybackRouting",
     "RouteTable",
+    "LazyRouteTable",
+    "make_route_table",
     "make_routing",
 ]

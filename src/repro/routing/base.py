@@ -35,10 +35,21 @@ from ..core.vc_policy import HopContext, HopKind, VcPolicy, VcRange
 from ..core.vc_selection import VcSelection
 from ..packet import Packet, RouteKind
 from ..topology.base import Topology
-from .route_table import RouteTable
+from .route_table import make_route_table
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..router.router import Router
+
+#: bound on the plan/candidate memo dictionaries: the key population grows
+#: with the distinct (here, dst, phase-state) situations actually traversed
+#: — effectively O(n²) under uniform traffic at 10^5-endpoint scale — so
+#: each memo is cleared wholesale when it reaches this many entries.  The
+#: constructions are pure (no RNG; randomness lives in the per-packet
+#: injection decisions), so a rebuilt entry is identical and the clear is
+#: invisible in results.  ~262k entries keep worst-case memo memory around
+#: 70 MB; canonical paper-scale runs stay far below the cap, and at system
+#: scale rebuilding after a clear costs well under a cycle's worth of work.
+_MEMO_CAP = 1 << 18
 
 
 @dataclass(slots=True)
@@ -111,7 +122,7 @@ class RoutingAlgorithm(ABC):
         config: RoutingConfig,
         arrangement: VcArrangement,
         rng: random.Random,
-        route_table: Optional[RouteTable] = None,
+        route_table=None,
     ) -> None:
         self.topology = topology
         self.policy = policy
@@ -119,10 +130,13 @@ class RoutingAlgorithm(ABC):
         self.config = config
         self.arrangement = arrangement
         self.rng = rng
-        #: dense precomputed minimal-route tables; every minimal next-port /
-        #: hop-sequence query on the hot path reads these instead of the
-        #: topology's per-pair computations.
-        self.route = route_table if route_table is not None else RouteTable(topology)
+        #: precomputed minimal-route tables (dense or lazy column shards —
+        #: identical answers); every minimal next-port / hop-sequence query
+        #: on the hot path reads these instead of the topology's per-pair
+        #: computations.
+        self.route = (
+            route_table if route_table is not None else make_route_table(topology)
+        )
         #: reference-slot contribution of one minimal segment (phase), used to
         #: advance the baseline's slot offsets between phases.
         if topology.has_link_type_restrictions:
@@ -135,6 +149,14 @@ class RoutingAlgorithm(ABC):
         #: (location, target, destination, class, input, phase state), and
         #: :class:`CandidateHop` objects are immutable in practice, so the
         #: same instance is shared by every packet in the same situation.
+        #: Both memos are *bounded*: keys scale with (here, dst) pairs
+        #: actually traversed, which approaches O(n²) under uniform traffic
+        #: at system scale — an unbounded memo would quietly reintroduce
+        #: the dense table's quadratic memory.  At :data:`_MEMO_CAP`
+        #: entries the memo is cleared wholesale (purity makes the rebuild
+        #: answer-identical, and plan lists held by callers stay valid);
+        #: canonical paper-scale runs never reach the cap, so goldens see
+        #: zero behaviour change.
         self._candidate_cache: dict = {}
         #: memoized whole plans for the minimal branch (same purity argument;
         #: plan lists are shared and never mutated), and ejection requests.
@@ -250,6 +272,8 @@ class RoutingAlgorithm(ABC):
                 router, packet, dst_router, input_type, input_vc, is_detour=False
             )
             cached = [direct] if direct is not None else []
+            if len(self._plan_memo) >= _MEMO_CAP:
+                self._plan_memo.clear()
             self._plan_memo[key] = cached
         return cached
 
@@ -304,6 +328,8 @@ class RoutingAlgorithm(ABC):
             )
             if candidate is not None:
                 candidate.hot = router.resolve_candidate(candidate)
+            if len(self._candidate_cache) >= _MEMO_CAP:
+                self._candidate_cache.clear()
             self._candidate_cache[key] = candidate
             return candidate
 
@@ -318,14 +344,23 @@ class RoutingAlgorithm(ABC):
         is_detour: bool,
         abandons_detour: bool,
     ) -> Optional[CandidateHop]:
-        out_port = self.route.next_port(here, target_router)
+        # Column views: one route-table column lookup per destination keeps
+        # every per-source query below a single flat index, which is what
+        # lets the lazy front-end touch (and possibly fill) each needed
+        # column exactly once per candidate construction.
+        target_col = self.route.column(target_router)
+        out_port = target_col.next_port(here)
         if out_port is None:
             return None
         next_router = self.route.neighbor(here, out_port)
         out_type = self.route.link_type(here, out_port)
-        intended = self._intended_remaining(here, packet, target_router, dst_router,
-                                            abandons_detour)
-        escape = self.route.hop_sequence(next_router, dst_router)
+        dst_col = (
+            target_col if target_router == dst_router
+            else self.route.column(dst_router)
+        )
+        intended = self._intended_remaining(here, packet, target_router,
+                                            target_col, dst_col, abandons_detour)
+        escape = dst_col.hop_sequence(next_router)
         ctx = HopContext(
             msg_class=packet.msg_class,
             out_type=out_type,
@@ -359,15 +394,16 @@ class RoutingAlgorithm(ABC):
         here: int,
         packet: Packet,
         target_router: int,
-        dst_router: int,
+        target_col,
+        dst_col,
         abandons_detour: bool,
     ) -> HopSequence:
         """Hop-type sequence of the packet's intended route from ``here``."""
         if abandons_detour or packet.route_kind == RouteKind.MINIMAL \
                 or packet.intermediate_reached:
-            return self.route.hop_sequence(here, dst_router)
-        first_leg = self.route.hop_sequence(here, target_router)
-        second_leg = self.route.hop_sequence(target_router, dst_router)
+            return dst_col.hop_sequence(here)
+        first_leg = target_col.hop_sequence(here)
+        second_leg = dst_col.hop_sequence(target_router)
         return first_leg + second_leg
 
     # ------------------------------------------------------------------
@@ -425,7 +461,7 @@ class RoutingAlgorithm(ABC):
 
     def _local_queue_metric(self, router: "Router", target_router: int) -> int:
         """Credit occupancy of the output port on the minimal path to ``target_router``."""
-        out_port = self.route.next_port(router.router_id, target_router)
+        out_port = self.route.column(target_router).next_port(router.router_id)
         if out_port is None:
             return 0
         minimal_only = self.config.pb_min_credits_only

@@ -6,7 +6,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core.link_types import LinkType
 from ..packet import Packet
-from .base import EjectionRequest, Plan, RoutingAlgorithm
+from .base import EjectionRequest, Plan, RoutingAlgorithm, _MEMO_CAP
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..router.router import Router
@@ -74,5 +74,7 @@ class MinimalRouting(RoutingAlgorithm):
                 router, packet, dst_router, input_type, input_vc, is_detour=False
             )
             cached = [direct] if direct is not None else []
+            if len(self._plan_memo) >= _MEMO_CAP:
+                self._plan_memo.clear()
             self._plan_memo[key] = cached
         return cached

@@ -37,7 +37,7 @@ class ProgressiveAdaptiveRouting(RoutingAlgorithm):
         # owns the minimal global link there is no earlier decision point, so
         # it decides right away (equivalent to UGAL-L at injection).
         dst_router = self.topology.router_of_node(packet.dst_node)
-        first_hop = self.route.next_port(router.router_id, dst_router)
+        first_hop = self.route.column(dst_router).next_port(router.router_id)
         if first_hop is None:
             packet.par_decided = True
             return

@@ -54,7 +54,7 @@ class PiggybackRouting(RoutingAlgorithm):
 
     def _queue_metric(self, router: "Router", target_router: int,
                       msg_class: MessageClass) -> int:
-        out_port = self.route.next_port(router.router_id, target_router)
+        out_port = self.route.column(target_router).next_port(router.router_id)
         if out_port is None:
             return 0
         tracker = router.output_ports[out_port].credits
@@ -63,12 +63,12 @@ class PiggybackRouting(RoutingAlgorithm):
         return tracker.occupancy_metric(per_vc, vc, self.config.pb_min_credits_only)
 
     def _min_global_saturated(self, router: "Router", packet: Packet,
-                              dst_router: int) -> bool:
+                              dst_col) -> bool:
         """Saturation bit of the first global link on the packet's minimal path."""
         board = router.saturation_board
         if board is None:
             return False
-        link = self.route.first_global_link(router.router_id, dst_router)
+        link = dst_col.first_global_link(router.router_id)
         if link is None:
             return False  # all-local path: no global link to protect
         owner, gport = link
@@ -90,12 +90,15 @@ class PiggybackRouting(RoutingAlgorithm):
         dst_router = self.topology.router_of_node(packet.dst_node)
         if dst_router == src_router:
             return
-        seq = self.route.hop_sequence(src_router, dst_router)
+        # One destination-column view serves the sequence test and the
+        # first-global-link sensing below (a single lazy column fill).
+        dst_col = self.route.column(dst_router)
+        seq = dst_col.hop_sequence(src_router)
         if LinkType.GLOBAL not in seq:
             # Intra-group traffic: always minimal (no global link to protect).
             return
         intermediate = self._pick_intermediate(packet, src_router, dst_router)
-        saturated = self._min_global_saturated(router, packet, dst_router)
+        saturated = self._min_global_saturated(router, packet, dst_col)
         q_min = self._queue_metric(router, dst_router, packet.msg_class)
         q_nonmin = self._queue_metric(router, intermediate, packet.msg_class)
         threshold = self.config.pb_threshold * packet.size_phits

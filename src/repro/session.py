@@ -493,6 +493,13 @@ class Session:
         fallback = getattr(sim, "backend_fallback_reason", None)
         if fallback is not None:
             provenance["backend_fallback_reason"] = fallback
+        route_table = getattr(sim, "route_table", None)
+        table_stats = getattr(route_table, "table_stats", None)
+        if table_stats is not None:
+            # Route-table mode + (for lazy tables) LRU behaviour: an
+            # execution strategy, not part of any cache key, but recorded so
+            # system-scale runs can be audited for column churn.
+            provenance["route_table"] = table_stats()
         provenance.update(self.provenance_extra)
         summary = self.windows[0][1]
         windows = [

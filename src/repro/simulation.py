@@ -24,7 +24,7 @@ from .metrics import MetricsCollector, ResidentLedger, SimulationResult
 from .router.router import Router
 from .router.saturation import SaturationBoard
 from .routing import make_routing
-from .routing.route_table import RouteTable
+from .routing.route_table import make_route_table, resolve_route_table_mode
 from .topology.base import Topology
 from .traffic import TrafficManager, make_generator
 
@@ -47,25 +47,33 @@ class SimulationArtifacts:
     """Immutable, reusable construction artifacts of one network description.
 
     Everything here is a pure function of ``config.network`` (graph and
-    latencies): the built topology and the dense
-    :class:`~repro.routing.route_table.RouteTable` (minimal next ports, hop
-    sequences, first global links, adjacency).  All of it is read-only after
-    construction, so one instance can back any number of simulations — the
-    sweep orchestrator memoizes artifacts per worker keyed by
-    ``network_key(config)`` and injects them via ``Simulation(cfg,
-    artifacts=...)``, turning a 200-job sweep's 200 rebuilds into a handful.
+    latencies): the built topology and the precomputed route table —
+    :class:`~repro.routing.route_table.RouteTable` (dense) or
+    :class:`~repro.routing.route_table.LazyRouteTable` (column shards), with
+    identical query answers (minimal next ports, hop sequences, first global
+    links, adjacency).  All of it is read-only after construction, so one
+    instance can back any number of simulations — the sweep orchestrator
+    memoizes artifacts per worker keyed by ``network_key(config)`` and
+    injects them via ``Simulation(cfg, artifacts=...)``, turning a 200-job
+    sweep's 200 rebuilds into a handful.  The network key deliberately stays
+    route-table-mode-free: modes answer identically, so cached artifacts are
+    shared across mode requests.
 
     ``network_key`` is informational (provenance/diagnostics); the caller is
     responsible for matching artifacts to configurations.
     """
 
     topology: Topology
-    route_table: RouteTable
+    route_table: object
     network_key: str = ""
 
 
 def build_artifacts(
-    config: SimulationConfig, network_key: str = "", *, cached: bool = True
+    config: SimulationConfig,
+    network_key: str = "",
+    *,
+    cached: bool = True,
+    route_table_mode: str = "auto",
 ) -> SimulationArtifacts:
     """Build (or reuse) the shareable construction artifacts for ``config``.
 
@@ -76,19 +84,28 @@ def build_artifacts(
     per process, and evicting a topology from the registry cache releases
     its table with it (their lifetimes are one).  ``cached=False`` builds
     private instances (same contents).
+
+    ``route_table_mode`` selects the table front-end (``auto``/``dense``/
+    ``lazy``; see :func:`~repro.routing.route_table.make_route_table`).
+    Modes answer identically, so the memo is keyed by the *resolved* mode —
+    a dense and a lazy table may coexist on one topology, but re-requesting
+    a mode reuses its table.
     """
     if not cached:
         topology = config.network.build()
         return SimulationArtifacts(
             topology=topology,
-            route_table=RouteTable(topology),
+            route_table=make_route_table(topology, route_table_mode),
             network_key=network_key,
         )
     topology = config.network.build_cached()
-    route_table = topology.__dict__.get("_cached_route_table")
+    resolved = resolve_route_table_mode(route_table_mode, topology.num_routers)
+    memo_key = "_cached_route_table" if resolved == "dense" \
+        else "_cached_route_table_lazy"
+    route_table = topology.__dict__.get(memo_key)
     if route_table is None:
-        route_table = RouteTable(topology)
-        topology.__dict__["_cached_route_table"] = route_table
+        route_table = make_route_table(topology, resolved)
+        topology.__dict__[memo_key] = route_table
     return SimulationArtifacts(
         topology=topology, route_table=route_table, network_key=network_key
     )
@@ -111,6 +128,12 @@ class Simulation:
     ``network_key(config)``.  Artifacts are read-only, so sharing them across
     simulations is bit-identical to private builds.
 
+    ``route_table_mode`` selects the route-table front-end (``"auto"``,
+    ``"dense"``, ``"lazy"`` — see
+    :func:`~repro.routing.route_table.make_route_table`); answers are
+    identical across modes, only construction memory/time differ.  Ignored
+    when ``artifacts`` already carry a table.
+
     ``backend`` selects the stepping backend: ``"python"`` (default, the
     source of truth), ``"vectorized"`` (the numpy batch kernel of
     :mod:`repro.kernel`; requires the ``[fast]`` extra) or ``"auto"``
@@ -127,6 +150,7 @@ class Simulation:
         use_reference_allocator: bool = False,
         artifacts: Optional[SimulationArtifacts] = None,
         backend: str = "python",
+        route_table_mode: str = "auto",
     ) -> None:
         config.validate()
         self.config = config
@@ -136,11 +160,12 @@ class Simulation:
         self.topology = (
             artifacts.topology if artifacts is not None else build_topology(config)
         )
-        #: dense minimal-route tables, precomputed once and shared by every
-        #: routing consumer (plans, PAR/PB sensing, saturation lookups).
+        #: precomputed minimal-route tables (dense, or lazy column shards on
+        #: large networks), shared by every routing consumer (plans, PAR/PB
+        #: sensing, saturation lookups).
         self.route_table = (
             artifacts.route_table if artifacts is not None
-            else RouteTable(self.topology)
+            else make_route_table(self.topology, route_table_mode)
         )
         self.metrics = MetricsCollector(
             num_nodes=self.topology.num_nodes,
@@ -222,7 +247,7 @@ class Simulation:
                     latency=latency,
                     link_type=info.link_type,
                     deliver=downstream.make_network_receiver(back_port),
-                    name=f"{router_id}:{info.port}->{info.neighbor}:{back_port}",
+                    name=(router_id, info.port, info.neighbor, back_port),
                 )
                 upstream.output_ports[info.port].attach_link(link)
                 channel = CreditChannel(self.engine, latency)

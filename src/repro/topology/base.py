@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
@@ -181,19 +182,40 @@ class Topology(ABC):
         return slots[router]
 
     # -- global-port indexing (saturation boards) ------------------------------------
+    def _global_port_row(self, router: int) -> dict:
+        """Cached ``port -> global-port index`` mapping of one router.
+
+        Route-table construction asks :meth:`global_port_index` for every
+        GLOBAL hop it propagates, so the per-call O(radix) rescan of
+        ``ports(router)`` is paid once per router here and every later call
+        is a dict lookup.  Closed-form topologies (Dragonfly, Megafly,
+        HyperX) override the public methods and never touch this cache.
+        """
+        rows = self.__dict__.get("_global_port_rows")
+        if rows is None:
+            rows = self.__dict__["_global_port_rows"] = {}
+        row = rows.get(router)
+        if row is None:
+            row = {}
+            for info in self.ports(router):
+                if info.link_type == LinkType.GLOBAL:
+                    row[info.port] = len(row)
+            rows[router] = row
+        return row
+
     def num_global_ports(self, router: int) -> int:
         """Number of GLOBAL-typed network ports of ``router``."""
-        return sum(1 for info in self.ports(router) if info.link_type == LinkType.GLOBAL)
+        return len(self._global_port_row(router))
 
     def global_port_index(self, router: int, port: int) -> int:
         """Index of GLOBAL port ``port`` among the router's global ports."""
-        if self.link_type(router, port) != LinkType.GLOBAL:
+        index = self._global_port_row(router).get(port)
+        if index is None:
+            # Out-of-range ports raise the topology's own link_type error,
+            # matching the pre-cache behaviour.
+            self.link_type(router, port)
             raise ValueError(f"port {port} of router {router} is not a global port")
-        return sum(
-            1
-            for info in self.ports(router)
-            if info.link_type == LinkType.GLOBAL and info.port < port
-        )
+        return index
 
     # -- routing helpers ---------------------------------------------------------
     @abstractmethod
@@ -204,6 +226,28 @@ class Topology(ABC):
         For topologies with link-type restrictions the returned hop respects
         the canonical traversal order (e.g. l-g-l in a Dragonfly).
         """
+
+    def min_next_ports_to(self, dst_router: int) -> Sequence[int]:
+        """First minimal-hop port towards ``dst_router`` for *every* source.
+
+        Returns a dense length-``num_routers`` integer sequence with ``-1``
+        at ``dst_router`` itself (no hop needed).  This is the batch form of
+        :meth:`min_next_port` that per-destination route-column construction
+        consumes; the generic fallback calls :meth:`min_next_port` once per
+        source, and closed-form topologies override it to derive the shared
+        ingredients (gateway router, destination coordinates) once per
+        column instead of once per pair.  Overrides must agree with
+        :meth:`min_next_port` entry for entry (locked by tests).
+        """
+        self._check_router(dst_router)
+        ports = array("i", [-1]) * self.num_routers
+        min_next_port = self.min_next_port
+        for src in range(self.num_routers):
+            if src == dst_router:
+                continue
+            port = min_next_port(src, dst_router)
+            ports[src] = -1 if port is None else port
+        return ports
 
     def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
         """Hop-type sequence of the minimal path ``src_router -> dst_router``.

@@ -22,6 +22,7 @@ group is ``g - 2 - m``, which makes the assignment a bijection between the
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -271,6 +272,37 @@ class Dragonfly(Topology):
         if gw == src_router:
             return self._local_ports + gport
         return self.local_port_to(src_router, self.position_in_group(gw))
+
+    def min_next_ports_to(self, dst_router: int) -> Sequence[int]:
+        """Closed-form batch of :meth:`min_next_port` for one destination.
+
+        Derives the destination's gateway router once per *group* (instead
+        of once per source router), then fills each group's sources with
+        pure local-port arithmetic — O(n) cheap integer work per column.
+        """
+        self._check_router(dst_router)
+        a = self.a
+        ports = array("i", [-1]) * self.num_routers
+        dst_group, dst_pos = divmod(dst_router, a)
+        local_ports = self._local_ports
+        for group in range(self.num_groups):
+            base = group * a
+            if group == dst_group:
+                # local_port_to(src, dst_pos) for every other position.
+                for pos in range(a):
+                    if pos != dst_pos:
+                        ports[base + pos] = (
+                            dst_pos if dst_pos < pos else dst_pos - 1
+                        )
+                continue
+            gateway, gport = self.gateway_router(group, dst_group)
+            gw_pos = gateway - base
+            for pos in range(a):
+                ports[base + pos] = (
+                    gw_pos if gw_pos < pos else gw_pos - 1
+                )
+            ports[gateway] = local_ports + gport
+        return ports
 
     def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
         self._check_router(src_router)

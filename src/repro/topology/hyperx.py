@@ -24,6 +24,7 @@ dimension-major, within each dimension ordered by target coordinate
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -180,6 +181,37 @@ class HyperX(Topology):
             if src[d] != dst[d]:
                 return self._port_for(d, src[d], dst[d])
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def min_next_ports_to(self, dst_router: int) -> Sequence[int]:
+        """Closed-form batch of :meth:`min_next_port` for one destination.
+
+        Walks the router ids in order while maintaining their mixed-radix
+        coordinates incrementally (dimension 0 fastest), so each source costs
+        a first-differing-dimension scan instead of a fresh divmod chain.
+        """
+        self._check_router(dst_router)
+        dims = self.dims
+        ndim = len(dims)
+        dst = self.coords(dst_router)
+        port_base = self._port_base
+        ports = array("i", [-1]) * self.num_routers
+        coords = [0] * ndim
+        for src in range(self.num_routers):
+            if src != dst_router:
+                for d in range(ndim):
+                    own = coords[d]
+                    target = dst[d]
+                    if own != target:
+                        ports[src] = port_base[d] + (
+                            target if target < own else target - 1
+                        )
+                        break
+            for d in range(ndim):
+                coords[d] += 1
+                if coords[d] < dims[d]:
+                    break
+                coords[d] = 0
+        return ports
 
     def min_hop_sequence(self, src_router: int, dst_router: int) -> HopSequence:
         src, dst = self.coords(src_router), self.coords(dst_router)

@@ -23,6 +23,7 @@ Router ids place each group's leaves first, then its spines:
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -327,6 +328,46 @@ class Megafly(Topology):
                                   self.spine_position(gateway), self.leaves)
         # Leaf: ascend straight to the gateway spine.
         return self.spine_position(gateway)
+
+    def min_next_ports_to(self, dst_router: int) -> Sequence[int]:
+        """Closed-form batch of :meth:`min_next_port` for one destination.
+
+        Derives the destination's gateway spine once per *group* (instead of
+        once per source router), then fills leaves and spines with the
+        deterministic :meth:`_up_spine` spread arithmetic.
+        """
+        self._check_router(dst_router)
+        gs = self._group_size
+        leaves, spines = self.leaves, self.spines
+        ports = array("i", [-1]) * self.num_routers
+        dst_group, dst_pos = divmod(dst_router, gs)
+        dst_is_spine = dst_pos >= leaves
+        for group in range(self.num_groups):
+            base = group * gs
+            if group == dst_group:
+                if dst_is_spine:
+                    dst_spine = dst_pos - leaves
+                    for leaf in range(leaves):
+                        ports[base + leaf] = dst_spine
+                    for spine in range(spines):
+                        if spine != dst_spine:
+                            ports[base + leaves + spine] = \
+                                (spine + dst_spine) % leaves
+                else:
+                    for leaf in range(leaves):
+                        if leaf != dst_pos:
+                            ports[base + leaf] = (leaf + dst_pos) % spines
+                    for spine in range(spines):
+                        ports[base + leaves + spine] = dst_pos
+                continue
+            gateway, gport = self.gateway_spine(group, dst_group)
+            gw_spine = gateway - base - leaves
+            for leaf in range(leaves):
+                ports[base + leaf] = gw_spine
+            for spine in range(spines):
+                ports[base + leaves + spine] = (spine + gw_spine) % leaves
+            ports[gateway] = leaves + gport
+        return ports
 
     # min_hop_sequence: inherited walk over min_next_port (the hot path reads
     # the precomputed RouteTable instead).
