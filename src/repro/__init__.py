@@ -75,10 +75,12 @@ from .probes import (
 )
 from .record import RunRecord
 from .routing import LazyRouteTable, RouteTable, make_route_table
-from .session import Session
+from .session import ConvergenceSettings, Session
 from .simulation import (
     Simulation,
+    SimulationArtifacts,
     average_results,
+    build_artifacts,
     build_topology,
     run_seeds,
     run_simulation,
@@ -122,6 +124,8 @@ __all__ = [
     "table4",
     # simulation
     "Simulation",
+    "SimulationArtifacts",
+    "build_artifacts",
     "run_simulation",
     "run_seeds",
     "average_results",
@@ -133,6 +137,7 @@ __all__ = [
     "RouteKind",
     # sessions, probes, records
     "Session",
+    "ConvergenceSettings",
     "Probe",
     "TimeSeriesProbe",
     "LinkUtilizationProbe",

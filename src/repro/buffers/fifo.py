@@ -12,6 +12,7 @@ from .base import BufferOrganization
 #: vector is never mutated after ``__init__`` — allocate/release only touch
 #: ``_occupancy`` — so every buffer with the same shape can share one tuple
 #: instead of carrying a private list (~90 B each).
+# devtools: unbounded-ok(one entry per distinct capacity shape; configs define a handful)
 _CAPACITY_MEMO: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
 

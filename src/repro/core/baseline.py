@@ -51,6 +51,7 @@ class DistanceBasedPolicy(VcPolicy):
         self._slot_table = PhaseVcTable.shared(self._slot_closed_form)
         #: interned VcRange singletons per slot VC (ranges here are always
         #: single-VC; construction of the frozen dataclass is not free).
+        # devtools: unbounded-ok(keyed by slot VC index: at most num_vcs entries)
         self._range_cache: dict[int, VcRange] = {}
 
     # -- slot computation -----------------------------------------------------

@@ -100,7 +100,11 @@ class RandomVc(VcSelection):
     def choose(self, candidates, free_space, rng=None):
         if not candidates:
             raise ValueError("no candidate VCs")
-        rng = rng if rng is not None else random
+        if rng is None:
+            # Falling back to the module-level generator here would silently
+            # decouple the run from config.seed; every real caller threads the
+            # simulation's seeded Random through, so a missing rng is a bug.
+            raise ValueError("RandomVc.choose requires the simulation's seeded rng")
         return candidates[rng.randrange(len(candidates))]
 
 

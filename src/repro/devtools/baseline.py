@@ -1,0 +1,82 @@
+"""Committed-baseline support: grandfathered findings that do not fail CI.
+
+The baseline is a JSON multiset of finding fingerprints
+(``path::rule::snippet`` — line numbers excluded so unrelated edits above a
+grandfathered finding do not invalidate it).  ``lint --baseline FILE``
+subtracts baseline entries from the report; ``lint --write-baseline FILE``
+snapshots the current findings.  The repo's committed baseline is expected
+to stay empty — the mechanism exists so *future* rules can land before their
+violations are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .framework import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for a missing or malformed baseline file."""
+
+
+@dataclass
+class Baseline:
+    entries: Counter[str] = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise BaselineError(f"baseline file not found: {path}") from exc
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"baseline file unreadable or not JSON: {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise BaselineError(f"baseline {path}: expected {{'version': {_VERSION}, ...}}")
+        raw = payload.get("findings", [])
+        if not isinstance(raw, list):
+            raise BaselineError(f"baseline {path}: 'findings' must be a list")
+        entries: Counter[str] = Counter()
+        for item in raw:
+            if not isinstance(item, dict) or not {"path", "rule", "snippet"} <= set(item):
+                raise BaselineError(
+                    f"baseline {path}: each finding needs path/rule/snippet keys"
+                )
+            entries[f"{item['path']}::{item['rule']}::{str(item['snippet']).strip()}"] += 1
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    def dump(self, path: Path) -> None:
+        findings = []
+        for fingerprint, count in sorted(self.entries.items()):
+            file_path, rule, snippet = fingerprint.split("::", 2)
+            for _ in range(count):
+                findings.append({"path": file_path, "rule": rule, "snippet": snippet})
+        payload = {"version": _VERSION, "findings": findings}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def filter(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """Return (new findings, number matched by the baseline)."""
+        remaining: Counter[str] = Counter(self.entries)
+        fresh: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                fresh.append(finding)
+        return fresh, matched

@@ -1,0 +1,145 @@
+"""Command-line interface for the devtools linter.
+
+Exit codes: 0 clean, 1 findings (or parse errors), 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, BaselineError
+from .framework import all_rules
+from .runner import LintReport, lint_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="Project-specific static analysis for the FlexVC reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint source trees against the invariant rules")
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
+
+    sub.add_parser("rules", help="print every rule with its rationale")
+    return parser
+
+
+def _render_text(report: LintReport, out: "object") -> None:
+    write = getattr(out, "write")
+    for finding in report.findings:
+        write(finding.render() + "\n")
+    for error in report.parse_errors:
+        write(f"parse error: {error}\n")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_checked} file(s)"
+        f" ({len(report.suppressed)} suppressed"
+    )
+    if report.baseline_matched:
+        summary += f", {report.baseline_matched} baseline-matched"
+    summary += ")"
+    write(summary + "\n")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "error: no such path(s): " + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+    baseline: Optional[Baseline] = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(Path(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    report = lint_paths(paths, baseline=baseline)
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).dump(Path(args.write_baseline))
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.write_baseline}",
+            file=sys.stdout,
+        )
+        return 0
+    if args.format == "json":
+        payload = {
+            "files_checked": report.files_checked,
+            "findings": [f.to_dict() for f in report.findings],
+            "suppressed": [f.to_dict() for f in report.suppressed],
+            "baseline_matched": report.baseline_matched,
+            "parse_errors": report.parse_errors,
+            "clean": report.clean,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        _render_text(report, sys.stdout)
+    return 0 if report.clean else 1
+
+
+def cmd_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.id}")
+        print(f"  {rule.summary}")
+        for line in _wrap(rule.doc, width=74):
+            print(f"    {line}")
+        print()
+    return 0
+
+
+def _wrap(text: str, width: int) -> List[str]:
+    words = text.split()
+    lines: List[str] = []
+    current: List[str] = []
+    length = 0
+    for word in words:
+        if current and length + 1 + len(word) > width:
+            lines.append(" ".join(current))
+            current, length = [], 0
+        current.append(word)
+        length += (1 if length else 0) + len(word)
+    if current:
+        lines.append(" ".join(current))
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "lint":
+        return cmd_lint(args)
+    if args.command == "rules":
+        return cmd_rules()
+    parser.error(f"unknown command: {args.command}")
+    return 2

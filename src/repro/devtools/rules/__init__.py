@@ -1,0 +1,7 @@
+"""Rule modules.  Importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import determinism, hotpath, memory  # noqa: F401
+
+__all__ = ["determinism", "hotpath", "memory"]

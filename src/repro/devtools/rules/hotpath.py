@@ -1,0 +1,246 @@
+"""Hot-path discipline rules.
+
+PR 3 established the zero-cost-when-unsubscribed probe contract: every hook
+attribute defaults to ``None`` and every dispatch site is guarded with
+``if hook is not None:`` so an unprobed run pays one attribute read, not a
+call.  PR 7 established the memory discipline: per-packet/per-port classes
+declare ``__slots__`` and bounded FIFOs are lists, not deques (an empty
+deque is ~624 B vs ~56 B for a list — at 10^5 ports that is the difference
+between fitting in RAM and not).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Iterator, Optional
+
+from ..framework import Finding, ModuleInfo, Rule, register_rule
+
+__all__ = ["ProbeGuardRule", "SlotsRule", "NoDequeRule"]
+
+
+# The hook attributes ProbeHub.wire() installs (probes.py).  Calling one of
+# these names IS a probe dispatch.
+HOOK_NAMES = frozenset(
+    {
+        "on_injection",
+        "on_misroute",
+        "on_stall",
+        "on_occupancy",
+        "delivery_hook",
+        "probe_hook",
+    }
+)
+
+
+@register_rule
+class ProbeGuardRule(Rule):
+    id = "hot-probe-guard"
+    summary = "probe hook calls must sit under an `X is not None` guard"
+    doc = (
+        "Probe hooks default to None and may only be invoked under an "
+        "`is not None` test of the same expression (directly, or via a local "
+        "alias: `hook = port.on_occupancy` then `if hook is not None: "
+        "hook(...)`).  An unguarded call crashes unprobed runs; a truthiness "
+        "guard (`if hook:`) is rejected too because it invokes __bool__ on "
+        "arbitrary callables.  This keeps the no-probe hot path at a single "
+        "attribute-read + pointer compare per site."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name: Optional[str] = None
+            if isinstance(callee, ast.Attribute) and callee.attr in HOOK_NAMES:
+                name = callee.attr
+            elif isinstance(callee, ast.Name) and callee.id in HOOK_NAMES:
+                name = callee.id
+            if name is None:
+                continue
+            if self._guarded(module, node, callee):
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                f"probe hook {name}(...) called without an enclosing "
+                f"`... is not None` guard on the same expression",
+            )
+
+    def _guarded(self, module: ModuleInfo, call: ast.Call, callee: ast.expr) -> bool:
+        target = ast.dump(_strip_ctx(callee))
+        node: Optional[ast.AST] = call
+        while node is not None:
+            parent = module.parent(node)
+            if isinstance(parent, ast.If) and node in parent.body:
+                if _test_asserts_not_none(parent.test, target):
+                    return True
+            if isinstance(parent, ast.IfExp) and node is parent.body:
+                if _test_asserts_not_none(parent.test, target):
+                    return True
+            if isinstance(parent, ast.Assert):
+                if _test_asserts_not_none(parent.test, target):
+                    return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Look for a preceding `assert X is not None` in the same body.
+                for stmt in parent.body:
+                    if stmt is node:
+                        break
+                    if isinstance(stmt, ast.Assert) and _test_asserts_not_none(
+                        stmt.test, target
+                    ):
+                        return True
+                return False
+            node = parent
+        return False
+
+
+def _strip_ctx(node: ast.expr) -> ast.expr:
+    """Copy with all Load/Store contexts normalized so dumps compare equal."""
+
+    class _Normalize(ast.NodeTransformer):
+        def visit_Name(self, n: ast.Name) -> ast.AST:  # noqa: N802
+            return ast.copy_location(ast.Name(id=n.id, ctx=ast.Load()), n)
+
+        def visit_Attribute(self, n: ast.Attribute) -> ast.AST:  # noqa: N802
+            self.generic_visit(n)
+            return ast.copy_location(
+                ast.Attribute(value=n.value, attr=n.attr, ctx=ast.Load()), n
+            )
+
+    return _Normalize().visit(copy.deepcopy(node))
+
+
+def _test_asserts_not_none(test: ast.expr, target_dump: str) -> bool:
+    """Does ``test`` (possibly an `and` chain) contain `target is not None`?"""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_test_asserts_not_none(v, target_dump) for v in test.values)
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        if isinstance(test.ops[0], ast.IsNot) and isinstance(
+            test.comparators[0], ast.Constant
+        ):
+            if test.comparators[0].value is None:
+                return ast.dump(_strip_ctx(test.left)) == target_dump
+    return False
+
+
+@register_rule
+class SlotsRule(Rule):
+    id = "hot-slots"
+    summary = "classes in per-packet/per-port modules must declare __slots__"
+    doc = (
+        "Objects created once per packet, flit or port dominate resident "
+        "memory at scale; a __dict__ per instance costs ~56-104 B over the "
+        "slotted layout.  Classes in the designated modules must declare "
+        "__slots__ in the class body or use @dataclass(slots=True).  "
+        "Exception/Protocol/ABC helper classes are exempt."
+    )
+
+    _EXEMPT_BASES = {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "RuntimeError",
+        "TypeError",
+        "KeyError",
+        "Protocol",
+        "ABC",
+        "Enum",
+        "IntEnum",
+        "NamedTuple",
+        "TypedDict",
+    }
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if self._exempt(node) or self._has_slots(node):
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                f"class {node.name} in a hot module has no __slots__; add "
+                "__slots__ or @dataclass(slots=True)",
+            )
+
+    def _exempt(self, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+            if name in self._EXEMPT_BASES:
+                return True
+        return False
+
+    def _has_slots(self, node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "__slots__":
+                        return True
+            if isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__slots__"
+                ):
+                    return True
+        for deco in node.decorator_list:
+            if isinstance(deco, ast.Call):
+                func = deco.func
+                name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+                if name == "dataclass":
+                    for kw in deco.keywords:
+                        if (
+                            kw.arg == "slots"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                        ):
+                            return True
+        return False
+
+
+@register_rule
+class NoDequeRule(Rule):
+    id = "hot-no-deque"
+    summary = "no collections.deque in hot modules (PR 7 regression class)"
+    doc = (
+        "PR 7 replaced per-port deques with lists: an empty deque allocates "
+        "a 64-slot block (~624 B) versus ~56 B for a list, and the FIFOs in "
+        "question are small and bounded, so list.append/pop(0) or an index "
+        "cursor wins on both memory and speed.  Any deque import or "
+        "construction in a hot module reintroduces that regression."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "collections":
+                for alias in node.names:
+                    if alias.name == "deque":
+                        yield module.finding(
+                            self.id,
+                            node,
+                            "deque imported in a hot module; use a list-backed FIFO "
+                            "(see DESIGN.md §7)",
+                        )
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "deque"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "collections"
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    "collections.deque used in a hot module; use a list-backed FIFO",
+                )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "deque"
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    "deque constructed in a hot module; use a list-backed FIFO",
+                )

@@ -35,6 +35,7 @@ from .orchestrator import (
     FLUSH_INTERVAL_SECONDS,
     AdaptiveSettings,
     ResultStore,
+    StoreError,
     orchestration,
 )
 from .runner import SCALES
@@ -223,17 +224,30 @@ def _channel_digest(name: str, payload: dict) -> str:
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    try:
+        store = ResultStore(args.store, strict=True)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if len(store) == 0:
-        print(f"no records in {args.store} (missing, empty, or unreadable)",
-              file=sys.stderr)
+        print(f"no records in {args.store} (empty store)", file=sys.stderr)
         return 1
     if store.migrated:
         print(f"[migrated {store.migrated} v1 entr{'y' if store.migrated == 1 else 'ies'} "
               "to RunRecord v2 in memory]")
     shown = 0
-    for key, record, meta in sorted(store.entries(), key=lambda e: (
-            str(e[2].get("series", "")), e[2].get("load", 0.0), e[2].get("seed", 0))):
+    try:
+        entries = sorted(store.entries(), key=lambda e: (
+            str(e[2].get("series", "")), e[2].get("load", 0.0), e[2].get("seed", 0)))
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        print(
+            f"error: store {args.store} contains malformed record entries "
+            f"({type(exc).__name__}: {exc}); the file may be corrupt or "
+            "written by an incompatible version",
+            file=sys.stderr,
+        )
+        return 2
+    for key, record, meta in entries:
         if args.series is not None and meta.get("series") != args.series:
             continue
         if args.load is not None and meta.get("load") != args.load:

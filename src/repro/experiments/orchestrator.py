@@ -58,7 +58,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..cache import BoundedLRU
 from ..config import SimulationConfig
@@ -96,7 +96,7 @@ DEFAULT_MAX_CHUNK_JOBS = 8
 # Config hashing
 # ---------------------------------------------------------------------------
 
-def _hash_payload(payload: dict) -> str:
+def _hash_payload(payload: Dict[str, object]) -> str:
     """Stable content hash of a JSON-serializable payload."""
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
@@ -120,7 +120,7 @@ def config_key(config: SimulationConfig, backend: str = "python") -> str:
     return _hash_payload(payload)
 
 
-def _network_payload(config_payload: dict) -> dict:
+def _network_payload(config_payload: Dict[str, object]) -> Dict[str, object]:
     """The sub-sections of an ``asdict(config)`` payload a network key hashes.
 
     Single source of truth for what identifies a job's reusable construction
@@ -291,6 +291,16 @@ class SweepSpec:
 # Result store
 # ---------------------------------------------------------------------------
 
+class StoreError(RuntimeError):
+    """A result store could not be opened in strict mode.
+
+    Raised only by ``ResultStore(..., strict=True)`` — the sweep path keeps
+    the lenient open (a damaged cache is no cache; results are recomputable),
+    while read-only consumers like ``inspect`` want a loud, specific error
+    instead of silently showing an empty store.
+    """
+
+
 class ResultStore:
     """JSON store of run records keyed by config hash.
 
@@ -314,6 +324,7 @@ class ResultStore:
         path: str,
         refresh: bool = False,
         flush_interval: float = FLUSH_INTERVAL_SECONDS,
+        strict: bool = False,
     ) -> None:
         self.path = str(path)
         self.refresh = refresh
@@ -322,24 +333,48 @@ class ResultStore:
         self.misses = 0
         self.writes = 0
         #: config hash -> {"record": <RunRecord dict>, "meta": {...}}.
-        self._results: Dict[str, dict] = {}
+        self._results: Dict[str, Dict[str, Any]] = {}
         self._dirty = False
         #: number of v1 entries migrated at open time (diagnostics).
         self.migrated = 0
-        if os.path.exists(self.path):
+        if not os.path.exists(self.path):
+            if strict:
+                raise StoreError(f"store not found: {self.path}")
+        else:
             try:
                 with open(self.path, "r", encoding="utf-8") as handle:
                     payload = json.load(handle)
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
                 # A damaged cache is no cache: start fresh rather than crash
-                # (results are recomputable by definition).
+                # (results are recomputable by definition).  Strict opens
+                # (inspect) surface the damage instead.
+                if strict:
+                    raise StoreError(
+                        f"store is not readable JSON: {self.path}: {exc}"
+                    ) from exc
                 payload = {}
             if isinstance(payload, dict):
                 version = payload.get("version")
+                results = payload.get("results", {})
+                if strict and not isinstance(results, dict):
+                    raise StoreError(
+                        f"store {self.path}: 'results' must be an object, "
+                        f"got {type(results).__name__}"
+                    )
                 if version == STORE_VERSION:
-                    self._results = payload.get("results", {})
+                    self._results = results if isinstance(results, dict) else {}
                 elif version == 1:
-                    self._migrate_v1(payload.get("results", {}))
+                    self._migrate_v1(results if isinstance(results, dict) else {})
+                elif strict:
+                    raise StoreError(
+                        f"store {self.path}: unsupported version {version!r} "
+                        f"(expected 1 or {STORE_VERSION})"
+                    )
+            elif strict:
+                raise StoreError(
+                    f"store {self.path}: top level must be a JSON object, "
+                    f"got {type(payload).__name__}"
+                )
         self._atexit_registered = False
 
     def _register_atexit_flush(self) -> None:
@@ -367,7 +402,7 @@ class ResultStore:
 
         atexit.register(_flush_at_exit)
 
-    def _migrate_v1(self, entries: Dict[str, dict]) -> None:
+    def _migrate_v1(self, entries: Dict[str, Dict[str, Any]]) -> None:
         """Wrap v1 ``{"result": ..., "meta": ...}`` entries into v2 records."""
         for key, entry in entries.items():
             try:
@@ -412,17 +447,17 @@ class ResultStore:
         self.misses += 1
         return None
 
-    def entries(self) -> Iterator[Tuple[str, RunRecord, dict]]:
+    def entries(self) -> Iterator[Tuple[str, RunRecord, Dict[str, object]]]:
         """Iterate ``(key, record, meta)`` without touching hit/miss counters."""
         for key, entry in self._results.items():
             yield key, RunRecord.from_dict(entry["record"]), entry.get("meta", {})
 
-    def put(self, key: str, result: SimulationResult, meta: Optional[dict] = None) -> None:
+    def put(self, key: str, result: SimulationResult, meta: Optional[Dict[str, object]] = None) -> None:
         """Store a bare summary (wrapped into a channel-less record)."""
         self.put_record(key, RunRecord.from_summary(result), meta=meta)
 
     def put_record(
-        self, key: str, record: RunRecord, meta: Optional[dict] = None
+        self, key: str, record: RunRecord, meta: Optional[Dict[str, object]] = None
     ) -> None:
         self._results[key] = {"record": record.to_dict(), "meta": meta or {}}
         self.writes += 1
@@ -539,9 +574,12 @@ def _execute_job(job: Job) -> Tuple[str, RunRecord]:
     return job.key, session.record()
 
 
-def _execute_chunk(
-    jobs: Sequence[Job],
-) -> Tuple[List[Tuple[str, RunRecord]], Tuple[int, int]]:
+#: Per-chunk result: ordered (config-hash, record) pairs plus the chunk's
+#: artifact-cache (hits, misses) delta.
+_ChunkResult = Tuple[List[Tuple[str, RunRecord]], Tuple[int, int]]
+
+
+def _execute_chunk(jobs: Sequence[Job]) -> _ChunkResult:
     """Run a series-affine chunk of jobs in this process, one after another.
 
     Returns the per-job records in order plus the chunk's artifact-cache
@@ -618,7 +656,7 @@ class _SerialChunkExecutor:
     def pending(self) -> bool:
         return bool(self._queue)
 
-    def next_completed(self):
+    def next_completed(self) -> "Tuple[Tuple[Job, ...], _ChunkResult]":
         chunk = self._queue.popleft()
         return chunk, _execute_chunk(chunk)
 
@@ -641,7 +679,7 @@ class _PoolChunkExecutor:
     def pending(self) -> bool:
         return bool(self._futures) or bool(self._done)
 
-    def next_completed(self):
+    def next_completed(self) -> "Tuple[Tuple[Job, ...], _ChunkResult]":
         if not self._done:
             done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
             for future in done:
@@ -656,7 +694,7 @@ class _PoolChunkExecutor:
         self._executor.shutdown(wait=False, cancel_futures=True)
 
 
-def _make_chunk_executor(workers: int):
+def _make_chunk_executor(workers: int) -> "_SerialChunkExecutor | _PoolChunkExecutor":
     if workers > 1:
         try:
             return _PoolChunkExecutor(ProcessPoolExecutor(max_workers=workers))
@@ -756,7 +794,7 @@ class _SeriesPlan:
 
 
 def _run_adaptive(
-    executor,
+    executor: "_SerialChunkExecutor | _PoolChunkExecutor",
     unique_jobs: Sequence[Job],
     results: Dict[str, SimulationResult],
     settings: AdaptiveSettings,
@@ -977,14 +1015,14 @@ class JobRunStats:
     #: the backend that actually ran).
     backend_executed: Dict[str, int] = field(default_factory=dict)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[object]:
         return iter((self.results, self.cache_hits, self.executed))
 
 
 class _ProgressReporter:
     """Throttled ``done/total`` + cache accounting lines on stderr."""
 
-    def __init__(self, total: int, stats: JobRunStats, min_interval: float = 1.0):
+    def __init__(self, total: int, stats: JobRunStats, min_interval: float = 1.0) -> None:
         self.total = total
         self.stats = stats
         self.min_interval = min_interval

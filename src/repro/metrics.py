@@ -22,7 +22,7 @@ window's packets from polluting the next window's statistics.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .packet import Packet
 
@@ -140,7 +140,7 @@ class LatencyHistogram:
         return out
 
     # -- persistence ----------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON payload: sparse ``[value, count]`` bucket list."""
         buckets = [[value, bucket] for value, bucket in enumerate(self.fine) if bucket]
         buckets.extend(
@@ -171,7 +171,7 @@ class SimulationResult:
     num_nodes: int
     misrouted_fraction: float
     deadlock_suspected: bool
-    extra: dict = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         flag = " DEADLOCK-SUSPECTED" if self.deadlock_suspected else ""
@@ -182,12 +182,12 @@ class SimulationResult:
         )
 
     # -- persistence (orchestrator result store) --------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation used by the experiment result store."""
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SimulationResult":
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
         return cls(**data)
 
 

@@ -22,7 +22,7 @@ re-running a single simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .metrics import SimulationResult
 
@@ -36,16 +36,16 @@ class RunRecord:
 
     summary: SimulationResult
     #: named telemetry channels: ``name -> {"meta": {...}, "data": ...}``.
-    channels: Dict[str, dict] = field(default_factory=dict)
+    channels: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: per-measurement-window summaries: ``[{"label": ..., "summary": {...}}]``
     #: (non-empty only for multi-window sessions; ``summary`` is window 0).
-    windows: List[dict] = field(default_factory=list)
+    windows: List[Dict[str, Any]] = field(default_factory=list)
     #: config hash, engine counters, wall time, probe names, migration marks.
-    provenance: dict = field(default_factory=dict)
+    provenance: Dict[str, Any] = field(default_factory=dict)
     schema_version: int = RECORD_SCHEMA_VERSION
 
     # -- accessors ------------------------------------------------------------
-    def channel(self, name: str) -> Optional[dict]:
+    def channel(self, name: str) -> Optional[Dict[str, Any]]:
         """Payload of one telemetry channel (``{"meta": ..., "data": ...}``)."""
         return self.channels.get(name)
 
@@ -57,7 +57,7 @@ class RunRecord:
         return f"RunRecord(v{self.schema_version} {self.summary} channels=[{channels}])"
 
     # -- persistence ----------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "schema_version": self.schema_version,
             "summary": self.summary.to_dict(),
@@ -67,7 +67,7 @@ class RunRecord:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunRecord":
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
         """Parse a record payload, migrating v1 (bare result) dicts."""
         if "schema_version" not in data:
             # v1 payloads are bare SimulationResult dicts.
@@ -87,14 +87,14 @@ class RunRecord:
         )
 
     @classmethod
-    def migrate_v1(cls, result_dict: dict, meta: Optional[dict] = None) -> "RunRecord":
+    def migrate_v1(cls, result_dict: Dict[str, Any], meta: Optional[Dict[str, Any]] = None) -> "RunRecord":
         """Wrap a v1 flat ``SimulationResult`` dict into a v2 record.
 
         No simulation is re-run: the summary is adopted verbatim, channels
         stay empty (v1 never captured telemetry) and the migration is marked
         in the provenance.
         """
-        provenance: dict = {"migrated_from": 1}
+        provenance: Dict[str, Any] = {"migrated_from": 1}
         if meta:
             provenance["v1_meta"] = dict(meta)
         return cls(
@@ -103,7 +103,7 @@ class RunRecord:
         )
 
     @classmethod
-    def from_summary(cls, summary: SimulationResult, **provenance) -> "RunRecord":
+    def from_summary(cls, summary: SimulationResult, **provenance: Any) -> "RunRecord":
         """Record with no telemetry (e.g. probe-less orchestrator jobs)."""
         return cls(summary=summary, provenance=dict(provenance))
 
@@ -118,7 +118,7 @@ class RunRecord:
         cls,
         source: "RunRecord",
         offered_load: float,
-        extra_provenance: Optional[dict] = None,
+        extra_provenance: Optional[Dict[str, Any]] = None,
     ) -> "RunRecord":
         """Synthesize a saturated point's record from the last simulated one.
 

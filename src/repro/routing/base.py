@@ -161,6 +161,7 @@ class RoutingAlgorithm(ABC):
         #: memoized whole plans for the minimal branch (same purity argument;
         #: plan lists are shared and never mutated), and ejection requests.
         self._plan_memo: dict = {}
+        # devtools: unbounded-ok(keyed by (dst router, msg class): at most 2n entries)
         self._ejection_memo: dict = {}
         #: packed-int plan-memo keys: every component is a small bounded
         #: non-negative int (after the +1 shifts), so the key packs into one

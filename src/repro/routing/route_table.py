@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import sys
 from array import array
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cache import BoundedLRU
 from ..core.link_types import HopSequence, LinkType
@@ -102,7 +102,7 @@ class PhaseVcTable:
     _SHARED: Dict[object, "PhaseVcTable"] = {}
 
     @classmethod
-    def shared(cls, slot_fn) -> "PhaseVcTable":
+    def shared(cls, slot_fn: Callable[..., int]) -> "PhaseVcTable":
         """Memoized table for ``slot_fn`` (one enumeration per process).
 
         The table is a pure function of ``slot_fn``; every
@@ -125,7 +125,7 @@ class PhaseVcTable:
             table = cls._SHARED[key] = cls(slot_fn)
         return table
 
-    def __init__(self, slot_fn) -> None:
+    def __init__(self, slot_fn: Callable[..., int]) -> None:
         L = G = self.MAX_OFFSET
         T = self.MAX_TAKEN
         P = self.MAX_POSITION
@@ -179,8 +179,9 @@ class RouteColumn:
     __slots__ = ("dst", "ports", "seq_ids", "sequences", "_no_port",
                  "_first_global", "_core")
 
-    def __init__(self, dst: int, ports, seq_ids: bytearray, no_port: int,
-                 sequences: List[HopSequence], core: "_RouteTableCore") -> None:
+    def __init__(self, dst: int, ports: Sequence[int], seq_ids: bytearray,
+                 no_port: int, sequences: List[HopSequence],
+                 core: "_RouteTableCore") -> None:
         self.dst = dst
         self.ports = ports
         self.seq_ids = seq_ids
@@ -428,7 +429,8 @@ class _RouteTableCore:
         self._seq_step[link_type << 8 | tail_id] = seq_id
         return seq_id
 
-    def build_first_global_column(self, dst: int, ports, no_port: int) -> array:
+    def build_first_global_column(self, dst: int, ports: Sequence[int],
+                                  no_port: int) -> array:
         """First-global row for one destination from its stored ports.
 
         The same suffix-merge walk as :meth:`fill_column` restricted to the
@@ -551,7 +553,7 @@ class RouteTable(_RouteTableCore):
                 + self._first_global.itemsize * len(self._first_global)
                 + self._adjacency_bytes())
 
-    def table_stats(self) -> dict:
+    def table_stats(self) -> Dict[str, object]:
         """Provenance-ready summary of this table's mode and footprint."""
         return {
             "mode": self.mode,
@@ -664,7 +666,7 @@ class LazyRouteTable(_RouteTableCore):
         )
         return resident + self._adjacency_bytes()
 
-    def table_stats(self) -> dict:
+    def table_stats(self) -> Dict[str, object]:
         """Provenance-ready summary of this table's mode and LRU behaviour."""
         return {
             "mode": self.mode,
@@ -695,7 +697,7 @@ def make_route_table(
     mode: str = "auto",
     *,
     capacity: Optional[int] = None,
-):
+) -> "RouteTable | LazyRouteTable":
     """Build the route table front-end selected by ``mode``.
 
     ``auto`` picks dense up to :data:`DENSE_ROUTER_THRESHOLD` routers (the

@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .config import SimulationConfig
 from .metrics import SimulationResult
@@ -158,7 +158,7 @@ class Session:
         self._wall_elapsed = 0.0
         #: extra provenance entries merged into :meth:`record`'s output
         #: (e.g. the convergence controller's stopping diagnostics).
-        self.provenance_extra: dict = {}
+        self.provenance_extra: Dict[str, Any] = {}
         for probe in probes:
             self.attach(probe)
 
@@ -467,7 +467,7 @@ class Session:
                 self._hub.dispatch_phase("done", self.engine.now)
             if self._wall_start is not None:
                 self._wall_elapsed = time.perf_counter() - self._wall_start
-        channels: dict = {}
+        channels: Dict[str, Any] = {}
         for probe in self._probes:
             for name, payload in probe.channels().items():
                 if name in channels:

@@ -21,6 +21,7 @@ from .core.vc_selection import make_selection
 from .engine import Engine
 from .link import CreditChannel, Link
 from .metrics import MetricsCollector, ResidentLedger, SimulationResult
+from .packet import Packet
 from .router.router import Router
 from .router.saturation import SaturationBoard
 from .routing import make_routing
@@ -303,7 +304,7 @@ class Simulation:
         )
         self.engine.register_traffic(self.traffic)
 
-    def _on_delivery(self, packet, cycle: int) -> None:
+    def _on_delivery(self, packet: Packet, cycle: int) -> None:
         assert self.traffic is not None
         self.traffic.on_delivery(packet, cycle)
 
@@ -363,18 +364,18 @@ def run_seeds(
     return run_seed_jobs(config, seeds, workers=workers)
 
 
-def _average_extras(results: List[SimulationResult]) -> dict:
+def _average_extras(results: List[SimulationResult]) -> Dict[str, float]:
     """Seed-average the ``extra`` dicts instead of silently dropping them.
 
     Keys are the union across seeds; values that are numeric (and non-bool)
     in every seed carrying the key are averaged, anything else keeps the
     first seen value.
     """
-    merged: dict = {}
+    merged: Dict[str, List[float]] = {}
     for result in results:
         for key, value in result.extra.items():
             merged.setdefault(key, []).append(value)
-    averaged: dict = {}
+    averaged: Dict[str, float] = {}
     for key, values in merged.items():
         if all(
             isinstance(v, (int, float)) and not isinstance(v, bool) for v in values

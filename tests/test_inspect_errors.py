@@ -1,0 +1,84 @@
+"""``python -m repro.experiments inspect`` error handling (PR 8 satellite).
+
+A missing or corrupt store path must exit nonzero with a clear one-line
+message on stderr — never a raw traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.orchestrator import ResultStore, StoreError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_inspect(store_path: Path):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "inspect", str(store_path)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_inspect_missing_store(tmp_path):
+    result = run_inspect(tmp_path / "nope.json")
+    assert result.returncode == 2
+    assert "store not found" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_inspect_corrupt_json(tmp_path):
+    store = tmp_path / "corrupt.json"
+    store.write_text("{definitely not json", encoding="utf-8")
+    result = run_inspect(store)
+    assert result.returncode == 2
+    assert "not readable JSON" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_inspect_wrong_top_level(tmp_path):
+    store = tmp_path / "list.json"
+    store.write_text("[1, 2, 3]", encoding="utf-8")
+    result = run_inspect(store)
+    assert result.returncode == 2
+    assert "JSON object" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_inspect_unsupported_version(tmp_path):
+    store = tmp_path / "future.json"
+    store.write_text(json.dumps({"version": 99, "results": {}}), encoding="utf-8")
+    result = run_inspect(store)
+    assert result.returncode == 2
+    assert "unsupported version" in result.stderr
+
+
+def test_inspect_malformed_entries(tmp_path):
+    store = tmp_path / "mangled.json"
+    store.write_text(
+        json.dumps({"version": 2, "results": {"abc123": {"record": "not-a-dict"}}}),
+        encoding="utf-8",
+    )
+    result = run_inspect(store)
+    assert result.returncode == 2
+    assert "malformed record entries" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_strict_open_raises_lenient_does_not(tmp_path):
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{oops", encoding="utf-8")
+    # Sweep path: damaged cache is treated as empty (results recomputable).
+    assert len(ResultStore(str(corrupt))) == 0
+    with pytest.raises(StoreError):
+        ResultStore(str(corrupt), strict=True)
+    with pytest.raises(StoreError):
+        ResultStore(str(tmp_path / "missing.json"), strict=True)
