@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Any, Mapping, Optional, Tuple, Union
 
 from .core.arrangement import VcArrangement
+from .faults import FaultSchedule
 from .topology import TOPOLOGIES
 from .topology.base import Topology
 
@@ -304,12 +305,17 @@ class SimulationConfig:
     #: A run is flagged as suspected-deadlocked when no packet is delivered
     #: for this many cycles while traffic is resident in the network.
     deadlock_window_cycles: int = DEFAULT_DEADLOCK_WINDOW_CYCLES
+    #: deterministic fault-injection schedule (empty = pristine network).
+    #: Non-empty schedules hash into ``config_key``; the empty default is
+    #: omitted from the key payload so every no-fault key is unchanged.
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
 
     def validate(self) -> None:
         self.network.validate()
         self.router.validate()
         self.routing.validate()
         self.traffic.validate()
+        self.faults.validate()
         if self.warmup_cycles < 0 or self.measure_cycles < 1:
             raise ValueError("warmup_cycles must be >= 0 and measure_cycles >= 1")
         if self.deadlock_window_cycles < 1:

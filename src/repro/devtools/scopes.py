@@ -23,6 +23,7 @@ _SIM_CORE = (
     "packet.py",
     "link.py",
     "cache.py",
+    "faults.py",
     "simulation.py",
     "router/",
     "routing/",
@@ -70,7 +71,7 @@ SCOPES: dict[str, Sequence[str]] = {
     "det-unseeded-random": _SIM_CORE,
     "det-wallclock": _WALLCLOCK_SCOPE,
     "det-env-read": _SIM_CORE,
-    "hot-probe-guard": ("router/", "link.py", "traffic/"),
+    "hot-probe-guard": ("router/", "link.py", "traffic/", "faults.py"),
     "hot-slots": _SLOTS_SCOPE,
     "hot-no-deque": _HOT,
     "mem-unbounded-memo": _HOT,

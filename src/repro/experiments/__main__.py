@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Sequence
 
+from ..faults import parse_faults
 from ..probes import PROBES, make_probes
 from ..session import ConvergenceSettings
 from . import figures, tables, topologies
@@ -169,6 +170,12 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"expected one of {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
     probes = _parse_probes(args.probes)
+    faults = None
+    if args.faults:
+        try:
+            faults = parse_faults(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from None
     store = ResultStore(
         args.store, refresh=args.force, flush_interval=args.flush_interval
     )
@@ -185,6 +192,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         backend=args.backend,
         route_table_mode=args.route_table,
+        job_timeout=args.job_timeout,
+        faults=faults,
     ):
         for name in args.figures:
             entry = REGISTRY[name]
@@ -300,7 +309,34 @@ def cmd_inspect(args: argparse.Namespace) -> int:
                     f"({convergence.get('measured_cycles')} of "
                     f"{convergence.get('budget_cycles')} budget cycles)"
                 )
+            faults = provenance.get("faults")
+            if faults:
+                parts.append(
+                    f"faults: {faults.get('applied')} applied "
+                    f"(policy {faults.get('policy')}, "
+                    f"{faults.get('packets_dropped')} dropped, "
+                    f"{faults.get('packets_rerouted')} rerouted)"
+                )
+            deadlocks = provenance.get("deadlock")
+            if deadlocks:
+                first = deadlocks[0] if isinstance(deadlocks, list) else deadlocks
+                parts.append(
+                    "DEADLOCK suspected at cycle "
+                    f"{first.get('cycle')} "
+                    f"({first.get('resident_packets')} packets resident)"
+                )
             print(f"  provenance: {', '.join(parts)}")
+            if args.verbose and deadlocks:
+                for outcome in (
+                    deadlocks if isinstance(deadlocks, list) else [deadlocks]
+                ):
+                    details = ", ".join(
+                        f"{k}={v}" for k, v in sorted(outcome.items())
+                    )
+                    print(f"  deadlock: {details}")
+            if args.verbose and faults:
+                stats = ", ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+                print(f"  faults: {stats}")
             if args.verbose and route_table:
                 stats = ", ".join(f"{k}={v}" for k, v in sorted(route_table.items()))
                 print(f"  route-table: {stats}")
@@ -327,8 +363,27 @@ def cmd_inspect(args: argparse.Namespace) -> int:
                                 break
                             print(f"      {entry_key}: {value}")
         print()
+    failures = sorted(store.failures(), key=lambda item: item[0])
+    for key, failure, meta in failures:
+        if args.series is not None and meta.get("series") != args.series:
+            continue
+        if args.load is not None and meta.get("load") != args.load:
+            continue
+        shown += 1
+        series = meta.get("series", "?")
+        load = meta.get("load", "?")
+        seed = meta.get("seed", "?")
+        print(f"{key}  series={series} load={load} seed={seed}")
+        detail = f" ({failure.detail})" if failure.detail else ""
+        print(
+            f"  FAILED: {failure.reason}{detail} after "
+            f"{failure.retries} retr{'y' if failure.retries == 1 else 'ies'}"
+        )
+        print()
     total = len(store)
-    print(f"{shown} of {total} record(s) shown from {args.store}")
+    print(f"{shown} of {total} entr{'y' if total == 1 else 'ies'} shown "
+          f"from {args.store}"
+          + (f" ({len(failures)} failed)" if failures else ""))
     return 0 if shown else 1
 
 
@@ -397,6 +452,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "persist their telemetry channels alongside the "
                           f"summaries (choices: {', '.join(sorted(PROBES))}; "
                           "cached points stay channel-free unless --force)")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject a deterministic fault schedule into every "
+                          "executed point, e.g. 'link:0:3@400-900' (link of "
+                          "router 0 port 3 down at cycle 400, back at 900), "
+                          "'router:7@500-1000', or 'sample:mtbf=5000,"
+                          "mttr=500,until=3000,seed=9'; clauses join with "
+                          "';', add 'policy=stall' to stall in-flight flits "
+                          "instead of dropping; fault schedules hash into "
+                          "the store keys, so pristine results are never "
+                          "overwritten")
+    run.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                     dest="job_timeout",
+                     help="per-job wall-clock budget in seconds (pool "
+                          "execution only): a hung job is terminated and "
+                          "recorded as a typed failure in the store instead "
+                          "of wedging the sweep")
     run.set_defaults(func=cmd_run)
 
     inspect = sub.add_parser(

@@ -55,6 +55,8 @@ import time
 import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from functools import lru_cache
@@ -62,6 +64,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from ..cache import BoundedLRU
 from ..config import SimulationConfig
+from ..faults import FaultSpec
 from ..metrics import SimulationResult
 from ..record import RunRecord
 from ..router.saturation import DEFAULT_SATURATION_MARGIN, is_saturated_point
@@ -115,6 +118,10 @@ def config_key(config: SimulationConfig, backend: str = "python") -> str:
     artifacts are backend-independent.)
     """
     payload = asdict(config)
+    if not config.faults:
+        # Mirror the backend rule: the empty default adds nothing, keeping
+        # every pre-existing (no-fault) stored key and golden valid.
+        payload.pop("faults", None)
     if backend != "python":
         payload["backend"] = backend
     return _hash_payload(payload)
@@ -261,6 +268,9 @@ class SweepSpec:
             base = builder()
             payload = asdict(base)
             net_key = _hash_payload(_network_payload(payload))
+            if not base.faults:
+                # Mirror config_key()'s empty-faults omission.
+                payload.pop("faults", None)
             if backend != "python":
                 # Mirror config_key()'s backend entry so expanded keys stay
                 # identical to config_key(job.config, backend=job.backend).
@@ -299,6 +309,37 @@ class StoreError(RuntimeError):
     while read-only consumers like ``inspect`` want a loud, specific error
     instead of silently showing an empty store.
     """
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Typed terminal failure of one job (crash-retry exhaustion, timeout).
+
+    Stored in the result store as a ``{"failure": ..., "meta": ...}`` entry
+    under the job's store key, so a completed sweep records *why* a point is
+    missing instead of silently omitting it.  Failure entries are invisible
+    to the caching reads (:meth:`ResultStore.get_record_any` treats them as
+    misses, so a later sweep re-attempts the job) and are surfaced by
+    ``inspect``.
+    """
+
+    #: machine-readable category: ``"timeout"`` or ``"worker-crash"``.
+    reason: str
+    #: human-readable elaboration (retry counts, timeout seconds, ...).
+    detail: str = ""
+    #: crash-retries spent on the job's chunk before giving up.
+    retries: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"reason": self.reason, "detail": self.detail, "retries": self.retries}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobFailure":
+        return cls(
+            reason=str(payload.get("reason", "unknown")),
+            detail=str(payload.get("detail", "")),
+            retries=int(payload.get("retries", 0)),
+        )
 
 
 class ResultStore:
@@ -441,16 +482,40 @@ class ResultStore:
             return None
         for key in keys:
             entry = self._results.get(key)
-            if entry is not None:
+            if entry is not None and "record" in entry:
                 self.hits += 1
                 return RunRecord.from_dict(entry["record"])
+        # Failure entries (no "record" payload) count as misses on purpose:
+        # a later sweep re-attempts the job instead of serving the failure.
         self.misses += 1
         return None
 
     def entries(self) -> Iterator[Tuple[str, RunRecord, Dict[str, object]]]:
-        """Iterate ``(key, record, meta)`` without touching hit/miss counters."""
+        """Iterate ``(key, record, meta)`` without touching hit/miss counters.
+
+        Failure entries are skipped — consumers of ``entries()`` expect
+        result records; use :meth:`failures` for the failure ledger.
+        """
         for key, entry in self._results.items():
+            if "record" not in entry:
+                continue
             yield key, RunRecord.from_dict(entry["record"]), entry.get("meta", {})
+
+    def failures(self) -> Iterator[Tuple[str, JobFailure, Dict[str, object]]]:
+        """Iterate stored ``(key, failure, meta)`` entries."""
+        for key, entry in self._results.items():
+            if "failure" in entry and "record" not in entry:
+                yield key, JobFailure.from_dict(entry["failure"]), entry.get("meta", {})
+
+    def put_failure(
+        self, key: str, failure: JobFailure, meta: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Record a terminal job failure under ``key`` (replaced by a real
+        record if a later sweep succeeds on the same job)."""
+        self._results[key] = {"failure": failure.to_dict(), "meta": meta or {}}
+        self.writes += 1
+        self._dirty = True
+        self._register_atexit_flush()
 
     def put(self, key: str, result: SimulationResult, meta: Optional[Dict[str, object]] = None) -> None:
         """Store a bare summary (wrapped into a channel-less record)."""
@@ -534,6 +599,31 @@ _WORKER_ARTIFACTS = ArtifactCache()
 # Execution backends
 # ---------------------------------------------------------------------------
 
+def _apply_test_seams(job_key: str) -> None:
+    """Deterministic worker-fault injection for the resilience tests.
+
+    ``REPRO_TEST_CRASH_KEY=<key>[:<marker-path>]`` hard-kills the worker
+    process when it picks up job ``<key>``; with a marker path the crash
+    fires only while the marker file does not exist (crash-once: the retry
+    succeeds), without one it fires on every attempt (retry exhaustion).
+    ``REPRO_TEST_HANG_KEY=<key>`` makes the job sleep
+    ``REPRO_TEST_HANG_SECONDS`` (default 60) — far past any test timeout —
+    standing in for a wedged simulation.  Both are no-ops unless the
+    environment variables are set, which only the orchestrator tests do.
+    """
+    crash_spec = os.environ.get("REPRO_TEST_CRASH_KEY")
+    if crash_spec:
+        crash_key, _, marker = crash_spec.partition(":")
+        if job_key == crash_key and (not marker or not os.path.exists(marker)):
+            if marker:
+                with open(marker, "w", encoding="utf-8") as handle:
+                    handle.write("crashed")
+            os._exit(17)
+    hang_key = os.environ.get("REPRO_TEST_HANG_KEY")
+    if hang_key and job_key == hang_key:
+        time.sleep(float(os.environ.get("REPRO_TEST_HANG_SECONDS", "60")))
+
+
 def _execute_job(job: Job) -> Tuple[str, RunRecord]:
     """Top-level worker function (must be picklable for the process pool).
 
@@ -549,6 +639,7 @@ def _execute_job(job: Job) -> Tuple[str, RunRecord]:
     from ..session import Session
     from ..simulation import Simulation
 
+    _apply_test_seams(job.key)
     artifacts = _WORKER_ARTIFACTS.get(
         job.network_key or network_key(job.config), job.config,
         route_table_mode=job.route_table_mode,
@@ -574,9 +665,10 @@ def _execute_job(job: Job) -> Tuple[str, RunRecord]:
     return job.key, session.record()
 
 
-#: Per-chunk result: ordered (config-hash, record) pairs plus the chunk's
-#: artifact-cache (hits, misses) delta.
-_ChunkResult = Tuple[List[Tuple[str, RunRecord]], Tuple[int, int]]
+#: Per-chunk result: ordered (config-hash, record-or-failure) pairs plus the
+#: chunk's artifact-cache (hits, misses) delta.  Failures only appear on the
+#: pool executor's resilience paths (crash-retry exhaustion, job timeout).
+_ChunkResult = Tuple[List[Tuple[str, "RunRecord | JobFailure"]], Tuple[int, int]]
 
 
 def _execute_chunk(jobs: Sequence[Job]) -> _ChunkResult:
@@ -665,27 +757,194 @@ class _SerialChunkExecutor:
 
 
 class _PoolChunkExecutor:
-    """Chunk execution on a process pool, drained one chunk at a time."""
+    """Chunk execution on a process pool, drained one chunk at a time.
 
-    def __init__(self, executor: ProcessPoolExecutor) -> None:
+    Two failure modes are survived instead of propagated:
+
+    * **worker crash** (``BrokenProcessPool``): a dead worker kills the whole
+      pool — every in-flight future fails at once.  The pool is rebuilt and
+      every lost chunk resubmitted, each with a bounded retry budget
+      (:data:`MAX_RETRIES` crashes per chunk) and a short linear backoff; a
+      chunk that keeps killing workers resolves to per-job
+      :class:`JobFailure` entries instead of looping forever.
+    * **job timeout** (``job_timeout`` seconds per job): chunks carry a
+      submission deadline of ``len(chunk) * job_timeout``.  An expired chunk
+      cannot be cancelled cooperatively — its worker is wedged — so the pool
+      is terminated and rebuilt; innocent in-flight chunks are resubmitted
+      as-is, the expired chunk is re-split into single-job chunks to pinpoint
+      the hang, and a single job that *still* exceeds its deadline resolves
+      to ``JobFailure("timeout")``.
+
+    ``on_retry`` fires before any resubmission so the caller can checkpoint
+    (``run_jobs`` flushes the result store: completed points must not depend
+    on the retried chunk ever succeeding).
+    """
+
+    #: pool-crash retries per chunk before it resolves to failures.
+    MAX_RETRIES = 3
+    #: linear backoff base between crash retries (seconds).
+    RETRY_BACKOFF_S = 0.1
+
+    def __init__(
+        self,
+        executor: ProcessPoolExecutor,
+        workers: int,
+        job_timeout: Optional[float] = None,
+        on_retry: Optional[Callable[[Tuple[Job, ...], str], None]] = None,
+    ) -> None:
         self._executor = executor
-        self._futures: Dict[object, Tuple[Job, ...]] = {}
+        self._workers = workers
+        self._job_timeout = job_timeout
+        self._on_retry = on_retry
+        #: future -> (chunk, wall-clock deadline).
+        self._futures: Dict[object, Tuple[Tuple[Job, ...], float]] = {}
         self._done: deque = deque()
+        #: chunk identity (its job keys) -> crash retries spent so far.
+        self._retries: Dict[Tuple[str, ...], int] = {}
+
+    @staticmethod
+    def _chunk_id(chunk: Tuple[Job, ...]) -> Tuple[str, ...]:
+        return tuple(job.key for job in chunk)
 
     def submit(self, chunk: Sequence[Job]) -> None:
         chunk = tuple(chunk)
-        self._futures[self._executor.submit(_execute_chunk, chunk)] = chunk
+        deadline = (
+            time.monotonic() + self._job_timeout * len(chunk)
+            if self._job_timeout is not None
+            else math.inf
+        )
+        try:
+            future = self._executor.submit(_execute_chunk, chunk)
+        except BrokenProcessPool:
+            # The pool died between our last wait and this submit (e.g. a
+            # just-retried chunk crashed its worker again).  Rebuild and
+            # submit to the fresh pool; the earlier in-flight futures are
+            # already failed and will surface as lost on the next wait.
+            self._rebuild_pool(terminate=False)
+            future = self._executor.submit(_execute_chunk, chunk)
+        self._futures[future] = (chunk, deadline)
 
     def pending(self) -> bool:
         return bool(self._futures) or bool(self._done)
 
     def next_completed(self) -> "Tuple[Tuple[Job, ...], _ChunkResult]":
-        if not self._done:
-            done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                self._done.append((self._futures.pop(future), future))
-        chunk, future = self._done.popleft()
-        return chunk, future.result()
+        while not self._done:
+            self._wait_once()
+        return self._done.popleft()
+
+    def _wait_once(self) -> None:
+        timeout = None
+        if self._job_timeout is not None and self._futures:
+            nearest = min(deadline for _, deadline in self._futures.values())
+            timeout = max(0.0, nearest - time.monotonic())
+        done, _ = wait(self._futures, timeout=timeout, return_when=FIRST_COMPLETED)
+        lost: List[Tuple[Job, ...]] = []
+        for future in done:
+            chunk, _deadline = self._futures.pop(future)
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                lost.append(chunk)
+                continue
+            self._done.append((chunk, result))
+        if lost:
+            # A broken pool dooms every other in-flight future too: reclaim
+            # them all, rebuild once, then retry each lost chunk.
+            lost.extend(chunk for chunk, _ in self._futures.values())
+            self._futures.clear()
+            self._rebuild_pool(terminate=False)
+            for chunk in lost:
+                self._retry_crashed(chunk)
+        elif not done and self._job_timeout is not None:
+            self._reap_expired()
+
+    def _rebuild_pool(self, terminate: bool) -> None:
+        if terminate:
+            # A wedged worker never returns from user code; cooperative
+            # shutdown would block forever, so kill the worker processes.
+            processes = getattr(self._executor, "_processes", None)
+            for process in list((processes or {}).values()):
+                process.terminate()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = ProcessPoolExecutor(max_workers=self._workers)
+
+    def _retry_crashed(self, chunk: Tuple[Job, ...]) -> None:
+        attempts = self._retries.get(self._chunk_id(chunk), 0) + 1
+        self._retries[self._chunk_id(chunk)] = attempts
+        if attempts > self.MAX_RETRIES:
+            # Crash counts are circumstantial: a pool crash dooms *every*
+            # in-flight chunk, so an innocent chunk sharing the pool with a
+            # crasher accumulates retries it never caused.  Settle guilt
+            # with one isolated run on a throwaway single-worker pool.
+            result = self._probe_solo(chunk)
+            if result is not None:
+                self._done.append((chunk, result))
+                return
+            failure = JobFailure(
+                reason="worker-crash",
+                detail=(
+                    f"chunk killed its worker pool {attempts} times, "
+                    "including an isolated single-worker probe"
+                ),
+                retries=attempts,
+            )
+            self._done.append(
+                (chunk, ([(job.key, failure) for job in chunk], (0, 0)))
+            )
+            return
+        if self._on_retry is not None:
+            self._on_retry(chunk, "worker-crash")
+        time.sleep(self.RETRY_BACKOFF_S * attempts)
+        self.submit(chunk)
+
+    def _probe_solo(self, chunk: Tuple[Job, ...]) -> Optional[_ChunkResult]:
+        """Run ``chunk`` alone on a fresh one-worker pool; None if it crashes
+        (or times out) there too — which makes the chunk definitively guilty."""
+        if self._on_retry is not None:
+            self._on_retry(chunk, "worker-crash")
+        solo = ProcessPoolExecutor(max_workers=1)
+        timeout = (
+            self._job_timeout * len(chunk) if self._job_timeout is not None else None
+        )
+        try:
+            return solo.submit(_execute_chunk, chunk).result(timeout=timeout)
+        except (BrokenProcessPool, FuturesTimeoutError):
+            processes = getattr(solo, "_processes", None)
+            for process in list((processes or {}).values()):
+                process.terminate()
+            return None
+        finally:
+            solo.shutdown(wait=False, cancel_futures=True)
+
+    def _reap_expired(self) -> None:
+        now = time.monotonic()
+        expired: List[Tuple[Job, ...]] = []
+        innocent: List[Tuple[Job, ...]] = []
+        for chunk, deadline in self._futures.values():
+            (expired if deadline <= now else innocent).append(chunk)
+        if not expired:
+            return
+        self._futures.clear()
+        self._rebuild_pool(terminate=True)
+        for chunk in innocent:
+            # Collateral of the pool kill, not suspects: resubmit unchanged
+            # (fresh deadline — their elapsed time was lost with the pool).
+            self.submit(chunk)
+        for chunk in expired:
+            if len(chunk) == 1:
+                failure = JobFailure(
+                    reason="timeout",
+                    detail=f"exceeded per-job timeout of {self._job_timeout:g}s",
+                    retries=self._retries.get(self._chunk_id(chunk), 0),
+                )
+                self._done.append((chunk, ([(chunk[0].key, failure)], (0, 0))))
+            else:
+                # Can't tell which job wedged: re-split so each gets its own
+                # deadline and only the true offender fails.
+                if self._on_retry is not None:
+                    self._on_retry(chunk, "timeout")
+                for job in chunk:
+                    self.submit((job,))
 
     def shutdown(self) -> None:
         # On the normal path nothing is pending; on interrupt, don't block
@@ -694,10 +953,19 @@ class _PoolChunkExecutor:
         self._executor.shutdown(wait=False, cancel_futures=True)
 
 
-def _make_chunk_executor(workers: int) -> "_SerialChunkExecutor | _PoolChunkExecutor":
+def _make_chunk_executor(
+    workers: int,
+    job_timeout: Optional[float] = None,
+    on_retry: Optional[Callable[[Tuple[Job, ...], str], None]] = None,
+) -> "_SerialChunkExecutor | _PoolChunkExecutor":
     if workers > 1:
         try:
-            return _PoolChunkExecutor(ProcessPoolExecutor(max_workers=workers))
+            return _PoolChunkExecutor(
+                ProcessPoolExecutor(max_workers=workers),
+                workers=workers,
+                job_timeout=job_timeout,
+                on_retry=on_retry,
+            )
         except OSError:  # pragma: no cover - environment-dependent
             pass
     return _SerialChunkExecutor()
@@ -816,6 +1084,8 @@ def _run_adaptive(
     plans = {
         series: _SeriesPlan(series, jobs) for series, jobs in by_series.items()
     }
+    #: keys of jobs that resolved to a JobFailure — never resubmitted.
+    failed_keys: set = set()
 
     def extrapolate_remaining(plan: _SeriesPlan) -> None:
         base_load = plan.last_load
@@ -857,7 +1127,10 @@ def _run_adaptive(
                 extrapolate_remaining(plan)
                 return
             load, step_jobs = plan.steps[plan.index]
-            missing = [job for job in step_jobs if job.key not in results]
+            missing = [
+                job for job in step_jobs
+                if job.key not in results and job.key not in failed_keys
+            ]
             if missing:
                 # One task per job: the seeds of a step are independent, so
                 # they spread across the pool even for single-series sweeps;
@@ -867,7 +1140,15 @@ def _run_adaptive(
                 plan.outstanding = len(missing)
                 return
             # Step fully resolved (simulated or cached): judge saturation.
-            summaries = [results[job.key] for job in step_jobs]
+            summaries = [
+                results[job.key] for job in step_jobs if job.key in results
+            ]
+            if not summaries:
+                # Every seed of the step failed terminally; without a point
+                # to judge, abandon the rest of this series' ladder (no
+                # extrapolation from failures).
+                plan.index = len(plan.steps)
+                return
             point = average_results(summaries)
             if is_saturated_point(point, settings.margin):
                 plan.consecutive_saturated += 1
@@ -875,8 +1156,11 @@ def _run_adaptive(
                 plan.consecutive_saturated = 0
             plan.last_summaries = {
                 job.seed: results[job.key] for job in step_jobs
+                if job.key in results
             }
-            plan.last_keys = {job.seed: job.key for job in step_jobs}
+            plan.last_keys = {
+                job.seed: job.key for job in step_jobs if job.key in results
+            }
             plan.last_load = load
             plan.index += 1
 
@@ -886,6 +1170,8 @@ def _run_adaptive(
         chunk, (records, artifact_stats) = executor.next_completed()
         on_artifact_stats(*artifact_stats)
         for job, (_, record) in zip(chunk, records):
+            if isinstance(record, JobFailure):
+                failed_keys.add(job.key)
             on_result(job, record)
         plan = plans[chunk[0].series]
         plan.outstanding -= 1
@@ -919,6 +1205,14 @@ class OrchestrationContext:
     #: route-table front-end applied to jobs still carrying the auto
     #: default (never part of cache keys — modes answer identically).
     route_table_mode: str = "auto"
+    #: per-job wall-clock budget in seconds (None = unlimited).  Enforced by
+    #: the pool executor only; a hung job resolves to a stored
+    #: :class:`JobFailure` instead of wedging the sweep.
+    job_timeout: Optional[float] = None
+    #: fault-injection spec applied to every job whose config carries no
+    #: schedule of its own (resolved per config; rewrites job keys, since
+    #: non-empty schedules hash into ``config_key``).
+    faults: Optional["FaultSpec"] = None
 
 
 _CONTEXT_STACK: List[OrchestrationContext] = [OrchestrationContext()]
@@ -939,6 +1233,8 @@ def orchestration(
     verbose: bool = False,
     backend: str = "python",
     route_table_mode: str = "auto",
+    job_timeout: Optional[float] = None,
+    faults: Optional["FaultSpec"] = None,
 ) -> Iterator[OrchestrationContext]:
     """Install parallel/caching defaults for every sweep run inside the block.
 
@@ -978,6 +1274,8 @@ def orchestration(
         verbose=verbose,
         backend=backend,
         route_table_mode=route_table_mode,
+        job_timeout=job_timeout,
+        faults=faults,
     )
     _CONTEXT_STACK.append(context)
     try:
@@ -1014,6 +1312,13 @@ class JobRunStats:
     #: record's provenance, so auto-mode and probe fallbacks count under
     #: the backend that actually ran).
     backend_executed: Dict[str, int] = field(default_factory=dict)
+    #: chunk resubmissions after worker crashes / timeout re-splits.
+    retries: int = 0
+    #: jobs that resolved to a stored :class:`JobFailure` instead of a
+    #: result (crash-retry exhaustion or per-job timeout).
+    failed: int = 0
+    #: job key -> terminal failure, for callers that want the reasons.
+    failures: Dict[str, JobFailure] = field(default_factory=dict)
 
     def __iter__(self) -> Iterator[object]:
         return iter((self.results, self.cache_hits, self.executed))
@@ -1052,6 +1357,23 @@ class _ProgressReporter:
         )
 
 
+def _apply_fault_spec(job: Job, spec: FaultSpec) -> Job:
+    """Inject a resolved fault schedule into a job, recomputing its key.
+
+    Fault schedules hash into ``config_key``, so fault runs never collide
+    with pristine store entries.  Jobs that already carry a schedule of
+    their own are left untouched (idempotent by construction).
+    """
+    if job.config.faults:
+        return job
+    fault_config = replace(job.config, faults=spec.resolve(job.config))
+    return replace(
+        job,
+        config=fault_config,
+        key=config_key(fault_config, backend=job.backend),
+    )
+
+
 def run_jobs(
     jobs: Sequence[Job],
     workers: Optional[int] = None,
@@ -1061,6 +1383,7 @@ def run_jobs(
     adaptive: Optional[AdaptiveSettings] = None,
     converge: Optional[ConvergenceSettings] = None,
     verbose: Optional[bool] = None,
+    job_timeout: Optional[float] = None,
 ) -> JobRunStats:
     """Execute jobs, serving duplicates and stored results from cache.
 
@@ -1094,6 +1417,8 @@ def run_jobs(
         converge = context.converge
     if verbose is None:
         verbose = context.verbose
+    if job_timeout is None:
+        job_timeout = context.job_timeout
 
     # Dedup and normalize: context probes/convergence apply to every job
     # that does not carry its own (probes never change keys; convergence
@@ -1106,6 +1431,8 @@ def run_jobs(
         seen_keys.add(job.key)
         if not job.probes and context.probes:
             job = replace(job, probes=context.probes)
+        if context.faults is not None:
+            job = _apply_fault_spec(job, context.faults)
         if converge is not None and job.converge is None:
             job = replace(job, converge=converge)
         if job.backend == "python" and context.backend != "python":
@@ -1147,8 +1474,23 @@ def run_jobs(
     )
     last_flush = time.monotonic()
 
-    def on_result(job: Job, record: RunRecord) -> None:
+    def on_result(job: Job, record: "RunRecord | JobFailure") -> None:
         nonlocal last_flush
+        if isinstance(record, JobFailure):
+            # Terminal failure: record *why* the point is missing.  The
+            # failure entry reads as a store miss, so a later sweep (or the
+            # same one re-run) re-attempts the job instead of caching it.
+            stats.failed += 1
+            stats.failures[job.key] = record
+            if store is not None:
+                store.put_failure(
+                    store_key(job),
+                    record,
+                    meta={"series": job.series, "load": job.load, "seed": job.seed},
+                )
+            if reporter is not None:
+                reporter.update()
+            return
         results[job.key] = record.summary
         active_backend = record.provenance.get("backend", job.backend)
         if record.is_extrapolated:
@@ -1185,7 +1527,23 @@ def run_jobs(
         stats.artifact_hits += hits
         stats.artifact_misses += misses
 
-    executor = _make_chunk_executor(int(workers or 1))
+    def on_retry(chunk: Tuple[Job, ...], reason: str) -> None:
+        # Checkpoint before any resubmission: the completed points must
+        # survive even if the retried chunk keeps killing workers.
+        nonlocal last_flush
+        stats.retries += 1
+        if store is not None:
+            store.flush()
+            last_flush = time.monotonic()
+        if verbose:
+            print(
+                f"[sweep] retrying {len(chunk)}-job chunk after {reason}",
+                file=sys.stderr,
+            )
+
+    executor = _make_chunk_executor(
+        int(workers or 1), job_timeout=job_timeout, on_retry=on_retry
+    )
     try:
         if adaptive is not None:
             _run_adaptive(
@@ -1269,6 +1627,11 @@ def run_sweep(
     if spec.backend == "python" and context.backend != "python":
         spec = replace(spec, backend=context.backend)
     jobs = spec.expand()
+    if context.faults is not None:
+        # Same pre-adoption as the backend above: fault schedules rewrite
+        # job keys, and the outcome's job list must carry the keys the
+        # results are stored under.
+        jobs = [_apply_fault_spec(job, context.faults) for job in jobs]
     stats = run_jobs(
         jobs,
         workers=workers,

@@ -75,6 +75,9 @@ def unsupported_reason(sim) -> Optional[str]:
     config = sim.config
     if getattr(sim, "_use_reference_allocator", False):
         return "reference allocator requested"
+    if getattr(config, "faults", None):
+        return ("fault injection (mid-run re-table-ing and link wrappers "
+                "mutate state the array pass mirrors)")
     if config.routing.algorithm not in ("min", "val"):
         return (f"routing algorithm {config.routing.algorithm!r} "
                 "(adaptive sensing reads time-varying state)")

@@ -86,6 +86,15 @@ class Probe:
     def on_alloc_stall(self, router_id: int, cycle: int, retry_cycle: int) -> None:
         """A stepped router with resident packets granted nothing this cycle."""
 
+    def on_fault_applied(self, event, cycle: int) -> None:
+        """A fault-schedule event was applied (see :mod:`repro.faults`)."""
+
+    def on_packet_dropped(
+        self, packet: Packet, router_id: int, reason: str, cycle: int
+    ) -> None:
+        """A packet was dropped by fault injection (``reason`` is ``"wire"``,
+        ``"buffer"`` or ``"source"``)."""
+
     # -- export ---------------------------------------------------------------
     def channels(self) -> Dict[str, dict]:
         """Telemetry channels to merge into the session's RunRecord."""
@@ -101,6 +110,8 @@ _COMPONENT_HOOKS = (
     "on_flit_transmitted",
     "on_vc_occupancy",
     "on_alloc_stall",
+    "on_fault_applied",
+    "on_packet_dropped",
 )
 
 
@@ -153,6 +164,10 @@ class ProbeHub:
 
         if delivered is not None:
             sim.traffic.delivery_hook = delivered
+        controller = getattr(sim, "fault_controller", None)
+        if controller is not None:
+            controller.on_fault_applied = self.dispatcher("on_fault_applied")
+            controller.on_packet_dropped = self.dispatcher("on_packet_dropped")
         for router in sim.routers:
             router_id = router.router_id
             if injected is not None:

@@ -182,6 +182,20 @@ class RoutingAlgorithm(ABC):
         )
 
     # ------------------------------------------------------------------
+    # Fault support
+    # ------------------------------------------------------------------
+    def invalidate_route_caches(self) -> None:
+        """Flush every memo that bakes in route-table answers.
+
+        Called by the fault controller after re-table-ing: plans and
+        candidates (including their burned-in ``hot`` tuples) embed next
+        ports read from the mutated columns.  The ejection memo survives —
+        ejection requests depend only on the (static) node attachment.
+        """
+        self._plan_memo.clear()
+        self._candidate_cache.clear()
+
+    # ------------------------------------------------------------------
     # Decision hooks
     # ------------------------------------------------------------------
     def decide_at_injection(self, router: "Router", packet: Packet) -> None:

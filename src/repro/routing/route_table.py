@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cache import BoundedLRU
 from ..core.link_types import HopSequence, LinkType
+from ..faults import NetworkPartitionedError
 from ..topology.base import Topology
 
 #: sentinel sequence id marking a not-yet-computed pair during construction.
@@ -298,6 +299,16 @@ class _RouteTableCore:
         self._neighbor = neighbor
         self._link_types = bytes(link_types)
 
+        # -- fault state (empty on pristine networks; see repro.faults) ----
+        #: directed (router, port) links currently dead; column fills route
+        #: around them via the BFS detour batch of :meth:`_fault_ports_to`.
+        self._dead_links: frozenset = frozenset()
+        self._dead_routers: frozenset = frozenset()
+        #: columns whose resident fill was computed under a non-empty fault
+        #: state (re-invalidated on recovery to restore the pristine fill).
+        self._fault_dirty: set = set()
+        self._back_port_map: Optional[array] = None
+
     # -- column construction -------------------------------------------------
     def fill_column(self, dst: int, next_port: Optional[array],
                     seq_ids: bytearray, first_global: Optional[array],
@@ -345,6 +356,20 @@ class _RouteTableCore:
                 continue
             port = ports[src]
             if port < 0:
+                if src in self._dead_routers:
+                    # Dead source: no packet can be resident there, so the
+                    # entry is a harmless no-route placeholder.
+                    seq_ids[index] = 0
+                    if next_port is not None:
+                        next_port[index] = -1
+                    if track_fg:
+                        first_global[2 * index] = -1
+                        first_global[2 * index + 1] = -1
+                    continue
+                if self._dead_links or self._dead_routers:
+                    raise NetworkPartitionedError(
+                        f"no route {src}->{dst} around the current faults"
+                    )
                 raise RuntimeError(
                     f"minimal route {src}->{dst} does not converge"
                 )
@@ -452,6 +477,13 @@ class _RouteTableCore:
         for src in range(n):
             if fg[2 * src] != -2:
                 continue
+            if ports[src] == no_port:
+                # No-route placeholder (a source that was dead when this
+                # column was filled): report "no GLOBAL link" — the entry
+                # is never queried for a resident packet.
+                fg[2 * src] = -1
+                fg[2 * src + 1] = -1
+                continue
             path: List[Tuple[int, int, int]] = []
             current = src
             while fg[2 * current] == -2:
@@ -472,6 +504,120 @@ class _RouteTableCore:
                 fg[2 * router] = tail_fg_router
                 fg[2 * router + 1] = tail_fg_port
         return fg
+
+    # -- fault support (repro.faults) ----------------------------------------
+    def set_fault_state(self, dead_links: frozenset,
+                        dead_routers: frozenset) -> None:
+        """Install the dead-element sets consulted by column (re)builds.
+
+        ``dead_links`` holds *directed* ``(router, port)`` keys (both
+        directions of a failed physical link); subsequent
+        :meth:`invalidate` calls and lazy column builds detour around them.
+        """
+        self._dead_links = dead_links
+        self._dead_routers = dead_routers
+
+    def _back_ports(self) -> array:
+        """``(router, port) -> port on the neighbor facing back`` map.
+
+        Built once on first use from the dense adjacency: ports between
+        each ordered router pair are matched index-by-index in ascending
+        port order, which pairs parallel links deterministically and
+        mirrors the symmetric wiring the simulation itself asserts.
+        """
+        back = self._back_port_map
+        if back is not None:
+            return back
+        n = self._n
+        per = self._ports_per_router
+        neighbor = self._neighbor
+        pairs: Dict[Tuple[int, int], List[int]] = {}
+        for router in range(n):
+            base = router * per
+            for port in range(per):
+                other = neighbor[base + port]
+                if other >= 0:
+                    pairs.setdefault((router, other), []).append(port)
+        back = array("i", [-1]) * (n * per)
+        for (router, other), ports in pairs.items():
+            other_ports = pairs[(other, router)]
+            base = router * per
+            for i, port in enumerate(ports):
+                back[base + port] = other_ports[i]
+        self._back_port_map = back
+        return back
+
+    def _fault_ports_to(self, dst: int) -> Optional[array]:
+        """Detour next-port batch for ``dst`` around the dead elements.
+
+        Returns None when no faults are active — or when ``dst`` itself is
+        a dead router (sink-hole rule: the column keeps its pristine fill
+        and packets drop at the dead-link boundary).  Otherwise runs a
+        deterministic BFS from ``dst`` over the live graph, preferring the
+        pristine minimal port wherever it is still live and distance-tied
+        (unaffected pairs keep their canonical routes), and raises
+        :class:`~repro.faults.NetworkPartitionedError` when any live source
+        has no route left.
+        """
+        dead_links = self._dead_links
+        dead_routers = self._dead_routers
+        if not dead_links and not dead_routers:
+            return None
+        if dst in dead_routers:
+            return None
+        n = self._n
+        per = self._ports_per_router
+        neighbor = self._neighbor
+        back = self._back_ports()
+        dist = array("i", [-1]) * n
+        ports = array("i", [-1]) * n
+        dist[dst] = 0
+        frontier = [dst]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                base = u * per
+                for q in range(per):
+                    w = neighbor[base + q]
+                    if w < 0 or dist[w] >= 0 or w in dead_routers:
+                        continue
+                    qw = back[base + q]
+                    # The detour forwards from w over its port qw onto the
+                    # (bidirectionally-failed) link w<->u.
+                    if (w, qw) in dead_links:
+                        continue
+                    dist[w] = dist[u] + 1
+                    ports[w] = qw
+                    nxt.append(w)
+            frontier = nxt
+        unreachable = [
+            src for src in range(n)
+            if dist[src] < 0 and src not in dead_routers
+        ]
+        if unreachable:
+            raise NetworkPartitionedError(
+                f"no route to router {dst} from {len(unreachable)} live "
+                f"router(s) (first: {unreachable[0]}) around the current "
+                f"faults"
+            )
+        pristine = self.topology.min_next_ports_to(dst)
+        for src in range(n):
+            if src == dst or src in dead_routers:
+                continue
+            port = pristine[src]
+            if port < 0 or (src, port) in dead_links:
+                continue
+            w = neighbor[src * per + port]
+            if w >= 0 and w not in dead_routers and dist[w] == dist[src] - 1:
+                ports[src] = port
+        return ports
+
+    def _mark_fault_fill(self, dst: int) -> None:
+        """Track whether ``dst``'s resident fill was computed under faults."""
+        if self._dead_links or self._dead_routers:
+            self._fault_dirty.add(dst)
+        else:
+            self._fault_dirty.discard(dst)
 
     # -- shared queries ------------------------------------------------------
     @property
@@ -523,6 +669,43 @@ class RouteTable(_RouteTableCore):
     def column(self, dst: int) -> _DenseColumnView:
         """Column view for destination ``dst`` (shared dense storage)."""
         return _DenseColumnView(self, dst)
+
+    # -- fault re-table-ing --------------------------------------------------
+    def invalidate(self, dst: int) -> None:
+        """Eagerly rebuild destination ``dst``'s column in place.
+
+        Under an active fault state (:meth:`set_fault_state`) the refill
+        routes around the dead elements via the BFS detour batch; with no
+        faults it re-runs the pristine fill — the persistent sequence
+        interning makes the rebuilt column byte-identical to the original.
+        """
+        n = self._n
+        if isinstance(self._seq_ids, bytes):
+            # The pristine build freezes seq ids to bytes; the first
+            # invalidation switches back to a mutable view for good.
+            self._seq_ids = bytearray(self._seq_ids)
+        seq_ids = self._seq_ids
+        next_port = self._next_port
+        first_global = self._first_global
+        for src in range(n):
+            index = src * n + dst
+            seq_ids[index] = _UNKNOWN
+            next_port[index] = -1
+            first_global[2 * index] = -1
+            first_global[2 * index + 1] = -1
+        ports = self._fault_ports_to(dst)
+        self.fill_column(dst, next_port, seq_ids, first_global, n, dst,
+                         ports=ports)
+        self._sequences = tuple(self._sequence_list)
+        self._mark_fault_fill(dst)
+
+    def columns_via(self, router: int, port: int) -> List[int]:
+        """Destinations whose current route from ``router`` leaves via
+        ``port`` (the invalidation set of a failed directed link)."""
+        n = self._n
+        base = router * n
+        next_port = self._next_port
+        return [dst for dst in range(n) if next_port[base + dst] == port]
 
     def next_port(self, src: int, dst: int) -> Optional[int]:
         """First port of the minimal path (None when ``src == dst``)."""
@@ -605,13 +788,34 @@ class LazyRouteTable(_RouteTableCore):
         self._columns.put(dst, col)
         return col
 
+    # -- fault re-table-ing --------------------------------------------------
+    def invalidate(self, dst: int) -> None:
+        """Evict destination ``dst``'s column; the next touch rebuilds it
+        against the current fault state (detours via ``fill_column``)."""
+        self._columns.pop(dst)
+        self._fault_dirty.discard(dst)
+
+    def columns_via(self, router: int, port: int) -> List[int]:
+        """Resident destinations whose route from ``router`` leaves via
+        ``port``.  Non-resident columns need no invalidation — their next
+        build consults the fault state anyway."""
+        out: List[int] = []
+        for dst, col in self._columns._entries.items():
+            stored = col.ports[router]
+            if stored != col._no_port and stored == port:
+                out.append(dst)
+        return sorted(out)
+
     def _build_column(self, dst: int) -> RouteColumn:
         n = self._n
         # min_next_ports_to already produces exactly the column's port
         # storage (-1 at the diagonal), so the walk reads it in place and
         # only the seq-id row is filled here; the first-global row is
         # deferred until a consumer asks (see RouteColumn).
-        port_batch = self.topology.min_next_ports_to(dst)
+        port_batch = self._fault_ports_to(dst)
+        if port_batch is None:
+            port_batch = self.topology.min_next_ports_to(dst)
+        self._mark_fault_fill(dst)
         seq_ids = bytearray([_UNKNOWN]) * n
         self.fill_column(dst, None, seq_ids, None, 1, 0, ports=port_batch)
         if self._ports_per_router < 255:

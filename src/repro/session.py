@@ -295,8 +295,30 @@ class Session:
         result = metrics.close_window(
             offered_load=self.config.traffic.load, deadlock_suspected=deadlock
         )
+        controller = getattr(self.sim, "fault_controller", None)
+        if controller is not None:
+            # Cumulative fault counters per window: differencing consecutive
+            # windows localizes a transient to its window.
+            result.extra.update(controller.window_extra())
+        if deadlock:
+            self._record_deadlock(label, result)
         self.windows.append((label, result))
         return result
+
+    def _record_deadlock(self, label: str, result: SimulationResult) -> None:
+        """Harden a tripped deadlock window into a typed, provenance-flagged
+        outcome (instead of only the boolean result flag)."""
+        sim = self.sim
+        outcome = {
+            "window": label,
+            "cycle": self.engine.now,
+            "last_delivery_cycle": sim.metrics.last_delivery_cycle,
+            "deadlock_window_cycles": self.config.deadlock_window_cycles,
+            "resident_packets": sim.total_resident_packets(),
+        }
+        result.extra["outcome"] = "deadlock"
+        result.extra["deadlock"] = outcome
+        self.provenance_extra.setdefault("deadlock", []).append(outcome)
 
     def measure_converged(
         self,
@@ -493,6 +515,9 @@ class Session:
         fallback = getattr(sim, "backend_fallback_reason", None)
         if fallback is not None:
             provenance["backend_fallback_reason"] = fallback
+        controller = getattr(sim, "fault_controller", None)
+        if controller is not None:
+            provenance["faults"] = controller.provenance()
         route_table = getattr(sim, "route_table", None)
         table_stats = getattr(route_table, "table_stats", None)
         if table_stats is not None:

@@ -163,9 +163,12 @@ class Simulation:
         )
         #: precomputed minimal-route tables (dense, or lazy column shards on
         #: large networks), shared by every routing consumer (plans, PAR/PB
-        #: sensing, saturation lookups).
+        #: sensing, saturation lookups).  Fault runs always build a private
+        #: table: re-table-ing mutates columns in place, and shared artifact
+        #: tables must stay read-only.
         self.route_table = (
-            artifacts.route_table if artifacts is not None
+            artifacts.route_table
+            if artifacts is not None and not config.faults
             else make_route_table(self.topology, route_table_mode)
         )
         self.metrics = MetricsCollector(
@@ -187,6 +190,13 @@ class Simulation:
         self._wire_links()
         self._attach_saturation_boards()
         self._build_traffic()
+        #: fault-injection runtime (None on pristine networks): wraps link
+        #: deliveries and replays ``config.faults`` through the calendar.
+        self.fault_controller = None
+        if config.faults:
+            from .faults import FaultController
+
+            self.fault_controller = FaultController(self)
         #: installed VectorizedKernel instance, or None on the python path.
         self.kernel = None
         self.backend_requested = backend

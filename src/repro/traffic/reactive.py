@@ -41,6 +41,10 @@ class TrafficManager:
         self.router_of_node = router_of_node
         #: hook invoked on every delivery, after metrics/replies are handled.
         self.delivery_hook: Optional[Callable[[Packet, int], None]] = None
+        #: fault-injection admission filter (None on pristine networks):
+        #: returns False to suppress a packet whose endpoint router is down,
+        #: *before* it is counted as generated (see repro.faults).
+        self.fault_filter: Optional[Callable[[Packet], bool]] = None
         self.replies_generated = 0
         #: outstanding requests by packet id (reactive mode diagnostics).
         self._outstanding: Dict[int, Packet] = {}
@@ -74,6 +78,12 @@ class TrafficManager:
         return self._stopped or self.generator.quiescent()
 
     def _enqueue(self, packet: Packet, cycle: int) -> None:
+        fault_filter = self.fault_filter
+        if fault_filter is not None and not fault_filter(packet):
+            # Suppressed (an endpoint's router is down): the RNG draw that
+            # produced the packet already happened — surviving traffic is
+            # bit-identical — and the packet never counts as generated.
+            return
         if self.router_of_node is not None:
             router_index = self.router_of_node(packet.src_node)
         else:

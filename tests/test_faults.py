@@ -1,0 +1,450 @@
+"""Fault-injection subsystem: schedules, re-table-ing, accounting, recovery.
+
+The load-bearing guarantees:
+
+* **determinism** — a faulted run is bit-identical across in-process reruns
+  for the same (seed, schedule), and a *no-fault* config hashes to the same
+  ``config_key`` as before the subsystem existed (goldens untouched);
+* **re-table-ing equality** — after ``invalidate()`` under fault state, the
+  dense and lazy front-ends answer identically on every registered topology,
+  and recovery rebuilds columns byte-identical to the pristine fill;
+* **partition detection** — a schedule that disconnects the live graph
+  raises a typed :class:`~repro.faults.NetworkPartitionedError`;
+* **conservation** — with the drop policy, every packet that entered the
+  network is either delivered or dropped-with-accounting once drained.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.arrangement import VcArrangement
+from repro.faults import (
+    FaultSchedule,
+    FaultSpec,
+    LinkDown,
+    LinkUp,
+    NetworkPartitionedError,
+    RouterDown,
+    RouterUp,
+    parse_faults,
+)
+from repro.routing.route_table import LazyRouteTable, RouteTable
+from repro.session import Session
+from repro.topology import TOPOLOGIES
+from repro.topology.base import LinkType
+
+# Kept in sync with the registry by test_route_tables.py.
+REGISTRY_INSTANCES = {
+    "dragonfly": {"h": 2},
+    "flattened_butterfly": {"k1": 4, "k2": 3, "nodes_per_router": 2},
+    "hyperx": {"s": (4, 3, 3), "nodes_per_router": 2},
+    "megafly": {"spines": 2, "leaves": 2, "h": 2, "nodes_per_router": 2},
+}
+
+
+@pytest.fixture(params=sorted(REGISTRY_INSTANCES), name="topo")
+def topo_fixture(request):
+    return TOPOLOGIES.build(request.param, REGISTRY_INSTANCES[request.param])
+
+
+def flap_config(policy: str = "drop", **overrides) -> SimulationConfig:
+    """TINY dragonfly with a warmup-spanning global-link flap.
+
+    A *global* link is faulted on purpose: detours around a dead global link
+    stay within the VC arrangement's escape budget, whereas local-link
+    detours can exceed the default 2-VC arrangement and wedge (documented in
+    DESIGN.md §11) — the roomier ``single_class(4, 2)`` arrangement guards
+    against that here too.
+    """
+    base = SimulationConfig(
+        warmup_cycles=300,
+        measure_cycles=600,
+        seed=3,
+        arrangement=VcArrangement.single_class(4, 2),
+    ).with_load(0.5)
+    topology = base.network.build()
+    port = next(
+        info.port
+        for info in topology.ports(0)
+        if topology.link_type(0, info.port) == LinkType.GLOBAL
+    )
+    schedule = FaultSchedule(
+        events=(LinkDown(400, 0, port), LinkUp(900, 0, port)), policy=policy
+    )
+    return dataclasses.replace(base, faults=schedule, **overrides)
+
+
+def run_session(config: SimulationConfig, windows: int = 3):
+    session = Session(config)
+    session.warmup()
+    results = [session.measure(label=f"w{index}") for index in range(windows)]
+    return session, results, session.record()
+
+
+# ---------------------------------------------------------------------------
+# Schedules: validation, parsing, sampling, hashing
+# ---------------------------------------------------------------------------
+
+class TestFaultSchedule:
+    def test_events_sorted_and_validated(self):
+        schedule = FaultSchedule(
+            events=(LinkUp(900, 0, 1), LinkDown(400, 0, 1), RouterDown(500, 2))
+        )
+        assert [event.cycle for event in schedule.events] == [400, 500, 900]
+        schedule.validate()
+        with pytest.raises(ValueError):
+            FaultSchedule(events=(LinkDown(0, 0, 1),)).validate()
+        with pytest.raises(ValueError):
+            FaultSchedule(policy="explode").validate()
+
+    def test_digest_is_stable_and_order_insensitive(self):
+        a = FaultSchedule(events=(LinkDown(400, 0, 1), LinkUp(900, 0, 1)))
+        b = FaultSchedule(events=(LinkUp(900, 0, 1), LinkDown(400, 0, 1)))
+        assert a.digest() == b.digest()
+        assert a.digest() != FaultSchedule(events=(LinkDown(401, 0, 1),)).digest()
+
+    def test_parse_grammar(self):
+        spec = parse_faults("link:0:3@400-900; router:7@500-1000; policy=stall")
+        schedule = spec.resolve(SimulationConfig())
+        kinds = [event.kind for event in schedule.events]
+        assert kinds == ["link-down", "router-down", "link-up", "router-up"]
+        assert schedule.policy == "stall"
+        with pytest.raises(ValueError):
+            parse_faults("wormhole:3@1-2")
+
+    def test_sampled_schedules_are_seed_deterministic(self):
+        config = SimulationConfig()
+        spec = parse_faults("sample:mtbf=4000,mttr=400,until=2000,seed=9")
+        again = parse_faults("sample:mtbf=4000,mttr=400,until=2000,seed=9")
+        other = parse_faults("sample:mtbf=4000,mttr=400,until=2000,seed=10")
+        assert spec.resolve(config) == again.resolve(config)
+        assert spec.resolve(config) != other.resolve(config)
+
+    def test_empty_schedule_leaves_config_key_unchanged(self):
+        from repro.experiments.orchestrator import config_key
+
+        config = SimulationConfig(warmup_cycles=150, measure_cycles=300)
+        payload = dataclasses.asdict(config)
+        payload.pop("faults")
+        import hashlib
+
+        key = config_key(config)
+        legacy = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=str).encode()
+        ).hexdigest()[: len(key)]
+        assert key == legacy
+
+    def test_non_empty_schedule_changes_config_key(self):
+        from repro.experiments.orchestrator import config_key
+
+        assert config_key(flap_config()) != config_key(
+            dataclasses.replace(flap_config(), faults=FaultSchedule())
+        )
+
+
+# ---------------------------------------------------------------------------
+# Determinism and transient visibility
+# ---------------------------------------------------------------------------
+
+class TestFaultedRunDeterminism:
+    @pytest.mark.parametrize("policy", ["drop", "stall"])
+    def test_faulted_runs_are_bit_identical(self, policy):
+        _, first, record_a = run_session(flap_config(policy))
+        _, second, record_b = run_session(flap_config(policy))
+        for a, b in zip(first, second):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+        dict_a, dict_b = record_a.to_dict(), record_b.to_dict()
+        # Wall-clock provenance is stamped on purpose and never bit-stable.
+        dict_a["provenance"].pop("wall_time_s")
+        dict_b["provenance"].pop("wall_time_s")
+        assert dict_a == dict_b
+
+    def test_transient_visible_in_window_summaries(self):
+        session, results, record = run_session(flap_config("drop"))
+        controller = session.sim.fault_controller
+        assert controller is not None
+        assert controller.faults_applied == 2
+        assert controller.packets_dropped > 0
+        assert controller.packets_rerouted > 0
+        assert controller.columns_invalidated > 0
+        # Window 0 (cycles 300-900) sees only the down-event at 400; the
+        # recovery at 900 lands on the boundary and shows from window 1 on —
+        # the cumulative counters make the transient *visible per window*.
+        assert results[0].extra["faults_applied"] >= 1
+        assert results[-1].extra["faults_applied"] == 2
+        assert results[0].extra["packets_dropped"] > 0
+        assert results[-1].extra["packets_dropped"] == controller.packets_dropped
+        provenance = record.provenance["faults"]
+        assert provenance["applied"] == 2
+        assert provenance["policy"] == "drop"
+        assert provenance["schedule_digest"] == flap_config().faults.digest()
+        assert provenance["packets_dropped"] == controller.packets_dropped
+
+    def test_stall_policy_drops_nothing(self):
+        session, _, _ = run_session(flap_config("stall"))
+        controller = session.sim.fault_controller
+        assert controller.packets_dropped == 0
+        assert controller.packets_rerouted > 0
+
+    def test_probe_hooks_fire(self):
+        from repro.probes import Probe
+
+        seen = {"faults": [], "drops": 0}
+
+        class FaultWatcher(Probe):
+            def on_fault_applied(self, event, cycle):
+                seen["faults"].append((event.kind, cycle))
+
+            def on_packet_dropped(self, packet, router_id, reason, cycle):
+                seen["drops"] += 1
+
+        session = Session(flap_config("drop"), probes=[FaultWatcher()])
+        session.warmup()
+        session.measure()
+        session.measure()  # second window covers the recovery at cycle 900
+        assert seen["faults"] == [("link-down", 400), ("link-up", 900)]
+        assert seen["drops"] == session.sim.fault_controller.packets_dropped
+
+
+# ---------------------------------------------------------------------------
+# Conservation and router failures
+# ---------------------------------------------------------------------------
+
+class TestAccounting:
+    def test_drop_conservation_after_drain(self):
+        session = Session(flap_config("drop"))
+        session.warmup()
+        for index in range(3):
+            session.measure(label=f"w{index}")
+        session.drain()
+        sim = session.sim
+        metrics = sim.metrics
+        controller = sim.fault_controller
+        assert sim._resident_ledger.count == 0
+        assert (
+            metrics.packets_generated
+            == metrics.packets_delivered_total + controller.packets_dropped
+        )
+
+    def test_router_failure_drops_and_suppresses(self):
+        config = flap_config("drop")
+        topology = config.network.build()
+        victim = topology.neighbor(0, config.faults.events[0].port)
+        schedule = FaultSchedule(
+            events=(RouterDown(400, victim), RouterUp(900, victim)),
+            policy="drop",
+        )
+        session = Session(dataclasses.replace(config, faults=schedule))
+        session.warmup()
+        for index in range(3):
+            session.measure(label=f"w{index}")
+        controller = session.sim.fault_controller
+        assert controller.packets_suppressed > 0  # traffic to/from dead nodes
+        assert controller.packets_dropped > 0  # buffered state was lost
+        session.drain()
+        metrics = session.sim.metrics
+        # Conservation with an in-flight term: packets detoured mid-path can
+        # end up past their VC budget once pristine routes return, and stay
+        # resident forever (DESIGN.md §11 documents the capacity caveat) —
+        # but they are *accounted* resident, never silently lost.
+        assert (
+            metrics.packets_generated
+            == metrics.packets_delivered_total
+            + controller.packets_dropped
+            + session.sim._resident_ledger.count
+        )
+        record = session.record()
+        provenance = record.provenance["faults"]
+        assert provenance["packets_suppressed"] == controller.packets_suppressed
+
+
+class TestPartitionDetection:
+    def test_isolating_a_router_raises_typed_error(self):
+        config = flap_config("drop")
+        topology = config.network.build()
+        events = tuple(
+            LinkDown(400, 0, info.port) for info in topology.ports(0)
+        )
+        session = Session(
+            dataclasses.replace(config, faults=FaultSchedule(events=events))
+        )
+        session.warmup()  # the down-events fire at cycle 400, mid-measure
+        with pytest.raises(NetworkPartitionedError):
+            session.measure()
+
+    def test_dead_router_is_not_a_partition(self):
+        # Sink-hole rule: a dead router removes itself from the live graph,
+        # so taking it (and all its links) down partitions nothing.
+        config = flap_config("drop")
+        schedule = FaultSchedule(events=(RouterDown(400, 0), RouterUp(900, 0)))
+        session, results, _ = run_session(
+            dataclasses.replace(config, faults=schedule)
+        )
+        assert results[-1].packets_delivered > 0
+
+
+# ---------------------------------------------------------------------------
+# Route-table invalidation: dense/lazy equality and recovery byte-identity
+# ---------------------------------------------------------------------------
+
+def _dead_pair(table, router=0, port=0):
+    """Directed (router, port) keys of both ends of one link."""
+    other = table._neighbor[router * table._ports_per_router + port]
+    back = table._back_ports()[router * table._ports_per_router + port]
+    return frozenset({(router, port), (other, back)})
+
+
+class TestFaultRetabling:
+    def test_lazy_matches_dense_under_fault_state(self, topo):
+        n = topo.num_routers
+        dense = RouteTable(topo)
+        lazy = LazyRouteTable(topo)
+        dead = _dead_pair(dense)
+        for table in (dense, lazy):
+            table.set_fault_state(dead, frozenset())
+            for dst in range(n):
+                table.invalidate(dst)
+        for dst in range(n):
+            for src in range(n):
+                assert lazy.next_port(src, dst) == dense.next_port(src, dst)
+                assert lazy.hop_sequence(src, dst) == dense.hop_sequence(src, dst)
+                assert lazy.distance(src, dst) == dense.distance(src, dst)
+                assert (lazy.first_global_link(src, dst)
+                        == dense.first_global_link(src, dst))
+
+    def test_detours_avoid_the_dead_link(self, topo):
+        table = RouteTable(topo)
+        dead = _dead_pair(table)
+        table.set_fault_state(dead, frozenset())
+        for dst in range(topo.num_routers):
+            table.invalidate(dst)
+        for dst in range(topo.num_routers):
+            for src in range(topo.num_routers):
+                if src == dst:
+                    continue
+                port = table.next_port(src, dst)
+                assert port >= 0
+                assert (src, port) not in dead
+
+    def test_recovery_restores_pristine_bytes(self, topo):
+        pristine = RouteTable(topo)
+        table = RouteTable(topo)
+        dead = _dead_pair(table)
+        table.set_fault_state(dead, frozenset())
+        for dst in range(topo.num_routers):
+            table.invalidate(dst)
+        # Recovery: clear the fault state, re-invalidate what was filled
+        # under faults, and the pristine fill must come back byte-identical
+        # (persistent sequence interning keeps ids stable across rebuilds).
+        table.set_fault_state(frozenset(), frozenset())
+        for dst in sorted(table._fault_dirty):
+            table.invalidate(dst)
+        assert bytes(table._seq_ids) == bytes(pristine._seq_ids)
+        assert bytes(table._next_port) == bytes(pristine._next_port)
+        # Persistent interning: the pristine ids are a stable prefix (detour
+        # sequences interned during the fault stay allocated but unreferenced).
+        prefix = len(pristine._sequences)
+        assert table._sequences[:prefix] == pristine._sequences
+
+    def test_unreachable_destination_raises(self, topo):
+        table = RouteTable(topo)
+        per = table._ports_per_router
+        dead = set()
+        for port in range(per):
+            if table._neighbor[port] >= 0:
+                dead |= _dead_pair(table, 0, port)
+        table.set_fault_state(frozenset(dead), frozenset())
+        with pytest.raises(NetworkPartitionedError):
+            table.invalidate(0)
+
+    def test_dead_destination_keeps_stale_column(self, topo):
+        # Sink-hole rule: columns *to* a dead router are never recomputed.
+        pristine = RouteTable(topo)
+        table = RouteTable(topo)
+        dead_router = pristine._neighbor[0]
+        dead = set()
+        for port in range(table._ports_per_router):
+            if table._neighbor[dead_router * table._ports_per_router + port] >= 0:
+                dead |= _dead_pair(table, dead_router, port)
+        table.set_fault_state(frozenset(dead), frozenset({dead_router}))
+        table.invalidate(dead_router)
+        for src in range(topo.num_routers):
+            assert table.next_port(src, dead_router) == pristine.next_port(
+                src, dead_router
+            )
+
+
+# ---------------------------------------------------------------------------
+# Orchestration integration
+# ---------------------------------------------------------------------------
+
+class TestFaultOrchestration:
+    def test_fault_spec_applies_to_jobs_and_rewrites_keys(self, tmp_path):
+        from repro.experiments.orchestrator import (
+            Job,
+            ResultStore,
+            config_key,
+            orchestration,
+            run_jobs,
+        )
+
+        config = SimulationConfig(
+            warmup_cycles=150, measure_cycles=300, seed=5
+        ).with_load(0.3)
+        job = Job(
+            key=config_key(config), series="faulted", load=0.3, seed=5,
+            config=config,
+        )
+        spec = parse_faults("link:0:3@200-400")
+        store = ResultStore(str(tmp_path / "store.json"))
+        with orchestration(store=store, faults=spec):
+            stats = run_jobs([job])
+        assert len(stats.results) == 1
+        faulted_key = next(iter(stats.results))
+        assert faulted_key != job.key  # schedules hash into the config key
+        store.flush()
+        entries = list(store.entries())
+        assert len(entries) == 1
+        _, record, _ = entries[0]
+        assert record.provenance["faults"]["applied"] == 2
+
+    def test_deadlock_outcome_is_typed_and_inspectable(self, tmp_path):
+        import subprocess
+        import sys
+
+        from repro.experiments.orchestrator import ResultStore
+
+        config = SimulationConfig(
+            warmup_cycles=10, measure_cycles=50, deadlock_window_cycles=5
+        ).with_load(0.0)
+        session = Session(config)
+        session.warmup()
+        # Plant a resident packet so the idle window reads as a wedge.
+        session.sim._resident_ledger.count = 1
+        result = session.measure()
+        assert result.deadlock_suspected
+        assert result.extra["outcome"] == "deadlock"
+        outcome = result.extra["deadlock"]
+        assert outcome["resident_packets"] == 1
+        record = session.record()
+        assert record.provenance["deadlock"][0]["cycle"] == outcome["cycle"]
+
+        path = tmp_path / "store.json"
+        store = ResultStore(str(path))
+        store.put_record(
+            "wedged", record, meta={"series": "w", "load": 0.0, "seed": 1}
+        )
+        store.flush()
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "inspect", str(path),
+             "--verbose"],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 0
+        assert "DEADLOCK suspected at cycle" in completed.stdout
+        assert "deadlock:" in completed.stdout

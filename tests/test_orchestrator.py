@@ -207,3 +207,114 @@ class TestSerializationRoundtrip:
         result = run_simulation(make_config().with_load(0.1))
         clone = SimulationResult.from_dict(result.to_dict())
         assert dataclasses.asdict(clone) == dataclasses.asdict(result)
+
+
+# ---------------------------------------------------------------------------
+# Crash resilience and per-job timeouts
+# ---------------------------------------------------------------------------
+
+def _resilience_jobs(count: int, seed_base: int) -> list:
+    from repro.experiments.orchestrator import Job
+
+    jobs = []
+    for offset in range(count):
+        config = make_config(
+            warmup_cycles=50, measure_cycles=100, seed=seed_base + offset
+        ).with_load(0.3)
+        jobs.append(
+            Job(
+                key=config_key(config),
+                series="resilience",
+                load=0.3,
+                seed=config.seed,
+                config=config,
+            )
+        )
+    return jobs
+
+
+class TestCrashResilience:
+    def test_worker_crash_is_retried_and_sweep_completes(self, tmp_path, monkeypatch):
+        # One worker hard-exits while executing a specific job; the marker
+        # file makes the crash fire exactly once, so the retry succeeds and
+        # the sweep must deliver every result with correct store contents.
+        jobs = _resilience_jobs(6, seed_base=21)
+        marker = tmp_path / "crashed.marker"
+        monkeypatch.setenv(
+            "REPRO_TEST_CRASH_KEY", f"{jobs[2].key}:{marker}"
+        )
+        store = ResultStore(str(tmp_path / "store.json"))
+        stats = run_jobs(jobs, workers=2, store=store, chunk_size=1)
+        assert marker.exists()  # the crash really fired
+        assert stats.failed == 0
+        assert stats.retries >= 1
+        assert sorted(stats.results) == sorted(job.key for job in jobs)
+        # Store contents match an undisturbed serial run bit-for-bit.
+        serial = run_jobs(jobs, workers=1, store=None)
+        for job in jobs:
+            assert dataclasses.asdict(stats.results[job.key]) == dataclasses.asdict(
+                serial.results[job.key]
+            )
+        store.flush()
+        assert list(store.failures()) == []
+
+    def test_persistent_crash_exhausts_retries_into_typed_failure(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.experiments.orchestrator import JobFailure
+
+        jobs = _resilience_jobs(4, seed_base=41)
+        monkeypatch.setenv("REPRO_TEST_CRASH_KEY", jobs[1].key)  # every attempt
+        store = ResultStore(str(tmp_path / "store.json"))
+        stats = run_jobs(jobs, workers=2, store=store, chunk_size=1)
+        assert stats.failed == 1
+        assert sorted(stats.results) == sorted(
+            job.key for job in jobs if job.key != jobs[1].key
+        )
+        failure = stats.failures[jobs[1].key]
+        assert isinstance(failure, JobFailure)
+        assert failure.reason == "worker-crash"
+        assert failure.retries > 0
+        # The failure is persisted as a typed store entry ...
+        store.flush()
+        stored = list(store.failures())
+        assert len(stored) == 1 and stored[0][1].reason == "worker-crash"
+        # ... that reads as a cache miss (a later sweep re-attempts the job)
+        # and is invisible to the record iterator.
+        assert store.get_record(jobs[1].key) is None
+        assert jobs[1].key not in {key for key, _, _ in store.entries()}
+
+    def test_hung_job_times_out_into_typed_failure(self, tmp_path, monkeypatch):
+        jobs = _resilience_jobs(4, seed_base=61)
+        monkeypatch.setenv("REPRO_TEST_HANG_KEY", jobs[0].key)
+        monkeypatch.setenv("REPRO_TEST_HANG_SECONDS", "60")
+        store = ResultStore(str(tmp_path / "store.json"))
+        stats = run_jobs(
+            jobs, workers=2, store=store, chunk_size=1, job_timeout=3.0
+        )
+        assert stats.failed == 1
+        assert sorted(stats.results) == sorted(job.key for job in jobs[1:])
+        failure = stats.failures[jobs[0].key]
+        assert failure.reason == "timeout"
+        store.flush()
+        stored = list(store.failures())
+        assert len(stored) == 1 and stored[0][1].reason == "timeout"
+
+    def test_inspect_surfaces_failures(self, tmp_path, monkeypatch):
+        import subprocess
+        import sys
+
+        jobs = _resilience_jobs(2, seed_base=81)
+        monkeypatch.setenv("REPRO_TEST_HANG_KEY", jobs[0].key)
+        monkeypatch.setenv("REPRO_TEST_HANG_SECONDS", "60")
+        path = tmp_path / "store.json"
+        store = ResultStore(str(path))
+        run_jobs(jobs, workers=2, store=store, chunk_size=1, job_timeout=3.0)
+        store.flush()
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "inspect", str(path)],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 0
+        assert "FAILED: timeout" in completed.stdout
+        assert "1 failed" in completed.stdout
