@@ -64,17 +64,24 @@ _SLOTS_SCOPE = (
     "buffers/",
 )
 
+# The storage layer replays journals and rewrites stores: its on-disk byte
+# order must be reproducible, so the ordering-determinism rules apply.  It
+# is deliberately OUTSIDE det-wallclock/det-env-read scope — lock
+# heartbeats/staleness need wall-clock time, and the crash-injection test
+# seam reads the environment, both legitimately.
+_STORE = ("store/",)
+
 SCOPES: dict[str, Sequence[str]] = {
-    "det-set-iter": _SIM_CORE,
-    "det-set-pop": _SIM_CORE,
-    "det-id-order": _SIM_CORE,
-    "det-unseeded-random": _SIM_CORE,
+    "det-set-iter": _SIM_CORE + _STORE,
+    "det-set-pop": _SIM_CORE + _STORE,
+    "det-id-order": _SIM_CORE + _STORE,
+    "det-unseeded-random": _SIM_CORE + _STORE,
     "det-wallclock": _WALLCLOCK_SCOPE,
     "det-env-read": _SIM_CORE,
     "hot-probe-guard": ("router/", "link.py", "traffic/", "faults.py"),
     "hot-slots": _SLOTS_SCOPE,
     "hot-no-deque": _HOT,
-    "mem-unbounded-memo": _HOT,
+    "mem-unbounded-memo": _HOT + _STORE,
     # meta-findings (bare suppressions) apply everywhere by construction
     "meta-bare-suppression": (),
 }

@@ -10,13 +10,18 @@ at any scale, with parallel workers and a persistent result cache::
     python -m repro.experiments run fig5 --probes timeseries,linkutil
     python -m repro.experiments inspect results/store.json --series MIN --load 0.5
 
-Results are persisted to a JSON store keyed by a content hash of each
-point's complete :class:`~repro.config.SimulationConfig` (default
+Results are persisted to a store keyed by a content hash of each point's
+complete :class:`~repro.config.SimulationConfig` (default
 ``results/store.json``), so re-running a figure serves every already-computed
-point from cache — interrupted sweeps resume instead of recomputing.  Stored
+point from cache — interrupted sweeps resume instead of recomputing.  New
+stores default to the crash-safe *journal* format (append-only, checksummed,
+safe for concurrent sweep processes sharing one path; see
+:mod:`repro.store`); ``--store-format json`` keeps the legacy monolithic
+JSON file, and existing stores of either format are auto-detected.  Stored
 entries are versioned :class:`~repro.record.RunRecord` payloads; ``--probes``
 attaches registry probes to every executed point so telemetry channels are
-persisted alongside the summaries, and ``inspect`` pretty-prints them.
+persisted alongside the summaries, and ``inspect`` pretty-prints them
+(``--verbose`` adds store durability statistics).
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from typing import Callable, Dict, Sequence
 from ..faults import parse_faults
 from ..probes import PROBES, make_probes
 from ..session import ConvergenceSettings
+from ..store import STORE_FORMATS
 from . import figures, tables, topologies
 from .formatting import render_bar_table, render_series_table
 from .orchestrator import (
@@ -176,9 +182,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             faults = parse_faults(args.faults)
         except ValueError as exc:
             raise SystemExit(f"--faults: {exc}") from None
-    store = ResultStore(
-        args.store, refresh=args.force, flush_interval=args.flush_interval
-    )
+    try:
+        store = ResultStore(
+            args.store, refresh=args.force, flush_interval=args.flush_interval,
+            format=args.store_format,
+        )
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     adaptive = AdaptiveSettings() if args.adaptive else None
     converge = ConvergenceSettings() if args.converge else None
     status = 0
@@ -217,7 +228,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"{executed} point(s) simulated, {cached} served from cache "
                 f"({args.store})\n"
             )
-    store.flush()
+    store.close()
     return status
 
 
@@ -238,6 +249,23 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.verbose:
+        info = store.describe()
+        parts = [f"format={info.get('format')}", f"entries={info.get('entries')}"]
+        if info.get("format") == "journal":
+            parts.append(f"journal-ops={info.get('journal_ops')}")
+            parts.append(f"superseded={info.get('superseded')}")
+            parts.append(f"compactions={info.get('compactions')}")
+            parts.append(
+                f"torn-salvages={info.get('torn_salvages')}"
+                + (
+                    f" ({info.get('torn_bytes_dropped')} bytes dropped)"
+                    if info.get("torn_salvages") else ""
+                )
+            )
+        if info.get("migrated_v1"):
+            parts.append(f"migrated-v1={info.get('migrated_v1')}")
+        print(f"[store {' '.join(parts)}]")
     if len(store) == 0:
         print(f"no records in {args.store} (empty store)", file=sys.stderr)
         return 1
@@ -410,7 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--patterns", nargs="*", default=None,
                      help="restrict traffic patterns (e.g. uniform bursty)")
     run.add_argument("--store", default=DEFAULT_STORE,
-                     help=f"JSON result store path (default: {DEFAULT_STORE})")
+                     help=f"result store path (default: {DEFAULT_STORE})")
+    run.add_argument("--store-format", default="journal", dest="store_format",
+                     choices=STORE_FORMATS,
+                     help="store on-disk format: journal (default; crash-safe "
+                          "append-only log, safe for concurrent sweep "
+                          "processes sharing one path — existing JSON stores "
+                          "are migrated on first open), json (legacy "
+                          "monolithic file, single writer), or auto (keep "
+                          "whatever the file already is)")
     run.add_argument("--force", action="store_true",
                      help="ignore cached results (still persists fresh ones)")
     run.add_argument("--chunk-size", type=int, default=None, metavar="N",
@@ -472,8 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser(
         "inspect", help="pretty-print stored RunRecords from a result store")
-    inspect.add_argument("store", help="path to a store JSON file (v1 stores "
-                                       "are migrated in memory)")
+    inspect.add_argument("store", help="path to a result store (journal or "
+                                       "JSON format, auto-detected; v1 JSON "
+                                       "stores are migrated in memory)")
     inspect.add_argument("--series", default=None,
                          help="only records whose meta series label matches")
     inspect.add_argument("--load", type=float, default=None,

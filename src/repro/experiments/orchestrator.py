@@ -15,9 +15,12 @@ run.  This module turns that decomposition into infrastructure:
   which amortizes pickle/IPC overhead and keeps each worker's
   :class:`ArtifactCache` hot: topology graphs and route tables are built once
   per ``network_key`` per worker instead of once per job;
-* :class:`ResultStore` persists results as JSON keyed by config hash, so an
-  interrupted sweep resumes from what it already computed instead of
-  recomputing, and repeated invocations are served entirely from cache;
+* :class:`~repro.store.ResultStore` (re-exported here) persists results
+  keyed by config hash — as a crash-safe append-only journal or the legacy
+  monolithic JSON file, see :mod:`repro.store` — so an interrupted sweep
+  resumes from what it already computed instead of recomputing, repeated
+  invocations are served entirely from cache, and concurrent sweep
+  processes can share one journal store;
 * opt-in **adaptive scheduling** (:class:`AdaptiveSettings`): each series
   climbs its load ladder low to high, and once
   :func:`~repro.router.saturation.is_saturated_point` flags ``cutoff_after``
@@ -44,15 +47,12 @@ reuse are execution-strategy changes only, enforced by
 
 from __future__ import annotations
 
-import atexit
 import hashlib
 import json
 import math
 import os
 import sys
-import tempfile
 import time
-import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -66,10 +66,18 @@ from ..cache import BoundedLRU
 from ..config import SimulationConfig
 from ..faults import FaultSpec
 from ..metrics import SimulationResult
-from ..record import RunRecord
+from ..record import JobFailure, RunRecord
 from ..router.saturation import DEFAULT_SATURATION_MARGIN, is_saturated_point
 from ..session import ConvergenceSettings
 from ..simulation import SimulationArtifacts, build_artifacts
+from ..store import (  # noqa: F401 - historical import surface, see below
+    FLUSH_INTERVAL_SECONDS,
+    STORE_VERSION,
+    JournalStore,
+    JsonStore,
+    ResultStore,
+    StoreError,
+)
 
 ConfigBuilder = Callable[[], SimulationConfig]
 
@@ -298,252 +306,16 @@ class SweepSpec:
 
 
 # ---------------------------------------------------------------------------
-# Result store
+# Result store (moved to the repro.store package in PR 10)
 # ---------------------------------------------------------------------------
-
-class StoreError(RuntimeError):
-    """A result store could not be opened in strict mode.
-
-    Raised only by ``ResultStore(..., strict=True)`` — the sweep path keeps
-    the lenient open (a damaged cache is no cache; results are recomputable),
-    while read-only consumers like ``inspect`` want a loud, specific error
-    instead of silently showing an empty store.
-    """
-
-
-@dataclass(frozen=True)
-class JobFailure:
-    """Typed terminal failure of one job (crash-retry exhaustion, timeout).
-
-    Stored in the result store as a ``{"failure": ..., "meta": ...}`` entry
-    under the job's store key, so a completed sweep records *why* a point is
-    missing instead of silently omitting it.  Failure entries are invisible
-    to the caching reads (:meth:`ResultStore.get_record_any` treats them as
-    misses, so a later sweep re-attempts the job) and are surfaced by
-    ``inspect``.
-    """
-
-    #: machine-readable category: ``"timeout"`` or ``"worker-crash"``.
-    reason: str
-    #: human-readable elaboration (retry counts, timeout seconds, ...).
-    detail: str = ""
-    #: crash-retries spent on the job's chunk before giving up.
-    retries: int = 0
-
-    def to_dict(self) -> Dict[str, object]:
-        return {"reason": self.reason, "detail": self.detail, "retries": self.retries}
-
-    @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "JobFailure":
-        return cls(
-            reason=str(payload.get("reason", "unknown")),
-            detail=str(payload.get("detail", "")),
-            retries=int(payload.get("retries", 0)),
-        )
-
-
-class ResultStore:
-    """JSON store of run records keyed by config hash.
-
-    The whole store is one file, rewritten atomically (tmp + rename) on
-    flush.  ``refresh=True`` turns reads into misses while still persisting
-    new results — the CLI's ``--force``.  ``flush_interval`` tunes how often
-    a running sweep checkpoints mid-flight (seconds between periodic
-    flushes); the first write also arms a flush at interpreter exit, so
-    killed sweeps keep their latest completed points while read-only opens
-    (e.g. ``inspect``) never rewrite the file.
-
-    Entries are versioned :class:`~repro.record.RunRecord` payloads (store
-    format v2).  Opening a v1 file — flat ``SimulationResult`` dicts as
-    written by earlier code — migrates every entry in memory (marking the
-    store dirty so the next flush persists v2) without re-running a single
-    simulation.
-    """
-
-    def __init__(
-        self,
-        path: str,
-        refresh: bool = False,
-        flush_interval: float = FLUSH_INTERVAL_SECONDS,
-        strict: bool = False,
-    ) -> None:
-        self.path = str(path)
-        self.refresh = refresh
-        self.flush_interval = float(flush_interval)
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
-        #: config hash -> {"record": <RunRecord dict>, "meta": {...}}.
-        self._results: Dict[str, Dict[str, Any]] = {}
-        self._dirty = False
-        #: number of v1 entries migrated at open time (diagnostics).
-        self.migrated = 0
-        if not os.path.exists(self.path):
-            if strict:
-                raise StoreError(f"store not found: {self.path}")
-        else:
-            try:
-                with open(self.path, "r", encoding="utf-8") as handle:
-                    payload = json.load(handle)
-            except (OSError, ValueError) as exc:
-                # A damaged cache is no cache: start fresh rather than crash
-                # (results are recomputable by definition).  Strict opens
-                # (inspect) surface the damage instead.
-                if strict:
-                    raise StoreError(
-                        f"store is not readable JSON: {self.path}: {exc}"
-                    ) from exc
-                payload = {}
-            if isinstance(payload, dict):
-                version = payload.get("version")
-                results = payload.get("results", {})
-                if strict and not isinstance(results, dict):
-                    raise StoreError(
-                        f"store {self.path}: 'results' must be an object, "
-                        f"got {type(results).__name__}"
-                    )
-                if version == STORE_VERSION:
-                    self._results = results if isinstance(results, dict) else {}
-                elif version == 1:
-                    self._migrate_v1(results if isinstance(results, dict) else {})
-                elif strict:
-                    raise StoreError(
-                        f"store {self.path}: unsupported version {version!r} "
-                        f"(expected 1 or {STORE_VERSION})"
-                    )
-            elif strict:
-                raise StoreError(
-                    f"store {self.path}: top level must be a JSON object, "
-                    f"got {type(payload).__name__}"
-                )
-        self._atexit_registered = False
-
-    def _register_atexit_flush(self) -> None:
-        """Arm a last-resort checkpoint on first write.
-
-        Flushes dirty results when the interpreter exits (including an
-        unhandled KeyboardInterrupt), via a weakref so the registration
-        never keeps the store alive.  Armed only once the store has actually
-        been *written to* — read-only opens (``inspect``, including ones
-        that migrate v1 entries in memory) must never rewrite a file that
-        another process may be appending to.
-        """
-        if self._atexit_registered:
-            return
-        self._atexit_registered = True
-        self_ref = weakref.ref(self)
-
-        def _flush_at_exit() -> None:  # pragma: no cover - exit path
-            store = self_ref()
-            if store is not None:
-                try:
-                    store.flush()
-                except OSError:
-                    pass
-
-        atexit.register(_flush_at_exit)
-
-    def _migrate_v1(self, entries: Dict[str, Dict[str, Any]]) -> None:
-        """Wrap v1 ``{"result": ..., "meta": ...}`` entries into v2 records."""
-        for key, entry in entries.items():
-            try:
-                record = RunRecord.migrate_v1(entry["result"], meta=entry.get("meta"))
-            except (KeyError, TypeError):  # pragma: no cover - damaged entry
-                continue
-            self._results[key] = {
-                "record": record.to_dict(), "meta": entry.get("meta", {})
-            }
-            self.migrated += 1
-        if self.migrated:
-            self._dirty = True  # persist the upgraded format on next flush
-
-    def __len__(self) -> int:
-        return len(self._results)
-
-    def get(self, key: str) -> Optional[SimulationResult]:
-        """Stored summary for ``key`` (None on miss) — compatibility view."""
-        record = self.get_record(key)
-        return None if record is None else record.summary
-
-    def get_record(self, key: str) -> Optional[RunRecord]:
-        """Full stored record (summary + telemetry channels + provenance)."""
-        return self.get_record_any(key)
-
-    def get_record_any(self, *keys: str) -> Optional[RunRecord]:
-        """First stored record among ``keys``.
-
-        One *logical* lookup: exactly one hit or one miss is counted no
-        matter how many alternative keys are probed (the adaptive scheduler
-        checks a point's plain config key and its extrapolated alias).
-        ``refresh`` mode returns None without touching the counters, as the
-        single-key read always did.
-        """
-        if self.refresh:
-            return None
-        for key in keys:
-            entry = self._results.get(key)
-            if entry is not None and "record" in entry:
-                self.hits += 1
-                return RunRecord.from_dict(entry["record"])
-        # Failure entries (no "record" payload) count as misses on purpose:
-        # a later sweep re-attempts the job instead of serving the failure.
-        self.misses += 1
-        return None
-
-    def entries(self) -> Iterator[Tuple[str, RunRecord, Dict[str, object]]]:
-        """Iterate ``(key, record, meta)`` without touching hit/miss counters.
-
-        Failure entries are skipped — consumers of ``entries()`` expect
-        result records; use :meth:`failures` for the failure ledger.
-        """
-        for key, entry in self._results.items():
-            if "record" not in entry:
-                continue
-            yield key, RunRecord.from_dict(entry["record"]), entry.get("meta", {})
-
-    def failures(self) -> Iterator[Tuple[str, JobFailure, Dict[str, object]]]:
-        """Iterate stored ``(key, failure, meta)`` entries."""
-        for key, entry in self._results.items():
-            if "failure" in entry and "record" not in entry:
-                yield key, JobFailure.from_dict(entry["failure"]), entry.get("meta", {})
-
-    def put_failure(
-        self, key: str, failure: JobFailure, meta: Optional[Dict[str, object]] = None
-    ) -> None:
-        """Record a terminal job failure under ``key`` (replaced by a real
-        record if a later sweep succeeds on the same job)."""
-        self._results[key] = {"failure": failure.to_dict(), "meta": meta or {}}
-        self.writes += 1
-        self._dirty = True
-        self._register_atexit_flush()
-
-    def put(self, key: str, result: SimulationResult, meta: Optional[Dict[str, object]] = None) -> None:
-        """Store a bare summary (wrapped into a channel-less record)."""
-        self.put_record(key, RunRecord.from_summary(result), meta=meta)
-
-    def put_record(
-        self, key: str, record: RunRecord, meta: Optional[Dict[str, object]] = None
-    ) -> None:
-        self._results[key] = {"record": record.to_dict(), "meta": meta or {}}
-        self.writes += 1
-        self._dirty = True
-        self._register_atexit_flush()
-
-    def flush(self) -> None:
-        if not self._dirty:
-            return
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        payload = {"version": STORE_VERSION, "results": self._results}
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, self.path)
-        finally:
-            if os.path.exists(tmp_path):  # pragma: no cover - error path
-                os.unlink(tmp_path)
-        self._dirty = False
+#
+# The store lived in this module through PR 9; it is now :mod:`repro.store`
+# (journaled backend with advisory locking, torn-write recovery and
+# compaction, plus the legacy JSON backend with fsynced rename and
+# concurrent-writer detection).  The names are re-imported above because
+# every test, example and downstream script spells
+# ``from repro.experiments.orchestrator import ResultStore`` — the facade
+# still auto-detects the on-disk format, so none of those callers change.
 
 
 # ---------------------------------------------------------------------------
@@ -1319,6 +1091,10 @@ class JobRunStats:
     failed: int = 0
     #: job key -> terminal failure, for callers that want the reasons.
     failures: Dict[str, JobFailure] = field(default_factory=dict)
+    #: records absorbed from other writer processes sharing the store
+    #: (journal format only — a peer sweep's flushed results picked up
+    #: before dispatch turn into cache hits instead of re-simulations).
+    store_absorbed: int = 0
 
     def __iter__(self) -> Iterator[object]:
         return iter((self.results, self.cache_hits, self.executed))
@@ -1450,6 +1226,12 @@ def run_jobs(
 
     stats = JobRunStats(results={})
     results = stats.results
+    if store is not None:
+        # Re-read the shared journal before deciding what to dispatch: a
+        # concurrent sweep process may have flushed results since we opened
+        # the store, and every absorbed record below becomes a cache hit
+        # instead of a re-simulation.  No-op (returns 0) for JSON stores.
+        stats.store_absorbed = store.refresh_from_disk()
     pending: List[Job] = []
     for job in unique:
         cached = None

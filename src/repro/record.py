@@ -30,6 +30,41 @@ from .metrics import SimulationResult
 RECORD_SCHEMA_VERSION = 2
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """Typed terminal failure of one job (crash-retry exhaustion, timeout).
+
+    Stored in the result store as a ``{"failure": ..., "meta": ...}`` entry
+    under the job's store key, so a completed sweep records *why* a point is
+    missing instead of silently omitting it.  Failure entries are invisible
+    to the caching reads (``ResultStore.get_record_any`` treats them as
+    misses, so a later sweep re-attempts the job) and are surfaced by
+    ``inspect``.
+
+    Lives here — beside :class:`RunRecord`, the other store payload type —
+    so the storage layer (:mod:`repro.store`) never has to import from the
+    orchestration layer that *produces* failures.
+    """
+
+    #: machine-readable category: ``"timeout"`` or ``"worker-crash"``.
+    reason: str
+    #: human-readable elaboration (retry counts, timeout seconds, ...).
+    detail: str = ""
+    #: crash-retries spent on the job's chunk before giving up.
+    retries: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"reason": self.reason, "detail": self.detail, "retries": self.retries}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobFailure":
+        return cls(
+            reason=str(payload.get("reason", "unknown")),
+            detail=str(payload.get("detail", "")),
+            retries=int(payload.get("retries", 0)),
+        )
+
+
 @dataclass
 class RunRecord:
     """One simulation run: summary stats, telemetry channels, provenance."""

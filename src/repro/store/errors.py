@@ -1,0 +1,41 @@
+"""Typed errors and warnings of the result-store layer."""
+
+from __future__ import annotations
+
+__all__ = ["StoreError", "StoreLockTimeout", "ConcurrentWriterWarning"]
+
+
+class StoreError(RuntimeError):
+    """A result store could not be opened or safely operated on.
+
+    Raised by strict opens (``ResultStore(..., strict=True)`` — the
+    ``inspect`` path) on missing/corrupt/wrong-format files, by any open
+    when the requested format contradicts the on-disk one (asking for the
+    legacy JSON format on a journal file would corrupt it), and by journal
+    operations that cannot acquire the store lock within their timeout.
+    The lenient sweep path keeps treating a damaged *cache* as no cache —
+    results are recomputable by definition — but never silently crosses
+    formats.
+    """
+
+
+class StoreLockTimeout(StoreError):
+    """The advisory store lock stayed held past the acquisition timeout.
+
+    With ``flock`` the kernel releases a dead holder's lock automatically,
+    so a timeout means a *live* process held the lock through our whole
+    wait — most likely a wedged compaction or a very slow writer.  The
+    message names the holder (pid/host/heartbeat) read from the lock
+    metadata when available.
+    """
+
+
+class ConcurrentWriterWarning(UserWarning):
+    """Another live process holds the writer lock of a legacy JSON store.
+
+    Monolithic JSON stores are rewritten whole on flush with last-writer-
+    wins semantics: two concurrent writers silently drop each other's
+    results.  This warning (a :class:`StoreError` under ``strict=True``)
+    replaces that silence; the journal format (``--store-format journal``)
+    supports concurrent writers safely.
+    """

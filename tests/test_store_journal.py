@@ -1,0 +1,707 @@
+"""Durability of the journaled result store (PR 10).
+
+The properties under test are the tentpole's acceptance criteria:
+
+* a SIGKILL at an *arbitrary byte offset* of an append loses at most the
+  half-written final entry — reopening salvages every fully-written record
+  and never raises;
+* a crash at any point of a compaction leaves either the old journal or the
+  complete new one, never a mix;
+* two concurrent writer processes sharing one journal produce the exact
+  union of their records — zero lost;
+* a second sweep over a shared store resumes from a peer's partial results
+  (cache hits, not re-simulation);
+* existing JSON stores (v1 and v2) keep loading, and migrate to journal
+  format losslessly when asked.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.orchestrator import (
+    Job,
+    ResultStore,
+    StoreError,
+    config_key,
+    run_jobs,
+)
+from repro.metrics import SimulationResult
+from repro.record import JobFailure, RunRecord
+from repro.store import (
+    ConcurrentWriterWarning,
+    JournalStore,
+    JsonStore,
+    StoreLock,
+    detect_format,
+    frame_entry,
+    parse_frame_line,
+    scan_frames,
+)
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def sample_summary(**overrides) -> SimulationResult:
+    base = dict(
+        offered_load=0.5, accepted_load=0.42, average_latency=150.5,
+        latency_p99=310.0, packets_delivered=100, packets_generated=120,
+        phits_delivered=800, measured_cycles=300, num_nodes=8,
+        misrouted_fraction=0.1, deadlock_suspected=False, extra={},
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+def fill(store: ResultStore, keys) -> None:
+    for i, key in enumerate(keys):
+        store.put(key, sample_summary(offered_load=0.1 + 0.01 * i))
+
+
+#: boilerplate prepended to every subprocess helper script.
+CHILD_PRELUDE = """
+import os, sys
+from repro.store import ResultStore
+from repro.metrics import SimulationResult
+
+def summary(i):
+    return SimulationResult(
+        offered_load=0.1 * i, accepted_load=0.09 * i, average_latency=10.0 + i,
+        latency_p99=20.0 + i, packets_delivered=100 * i, packets_generated=110 * i,
+        phits_delivered=400 * i, measured_cycles=300, num_nodes=8,
+        misrouted_fraction=0.0, deadlock_suspected=False, extra={},
+    )
+"""
+
+
+def run_child(script: str, *args: str, env: dict | None = None, **popen_kwargs):
+    child_env = dict(os.environ)
+    if env:
+        child_env.update(env)
+    return subprocess.run(
+        [sys.executable, "-c", CHILD_PRELUDE + textwrap.dedent(script), *args],
+        capture_output=True, text=True, env=child_env, timeout=120,
+        **popen_kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Frame layer
+# ---------------------------------------------------------------------------
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"op": "record", "key": "abc", "record": {"x": [1, 2.5, None]}}
+        line = frame_entry(payload)
+        assert line.startswith(b"J1 ") and line.endswith(b"\n")
+        assert parse_frame_line(line[:-1]) == payload
+
+    def test_corruption_is_rejected(self):
+        line = frame_entry({"op": "record", "key": "k"})[:-1]
+        assert parse_frame_line(line) is not None
+        # flip one payload byte: crc mismatch
+        broken = line[:-3] + bytes([line[-3] ^ 0x01]) + line[-2:]
+        assert parse_frame_line(broken) is None
+        # truncated payload: length mismatch
+        assert parse_frame_line(line[:-1]) is None
+        # foreign line entirely
+        assert parse_frame_line(b'{"version": 2}') is None
+        assert parse_frame_line(b"J1 garbage") is None
+
+    def test_scan_stops_at_first_bad_frame(self):
+        good = frame_entry({"op": "record", "key": "a"})
+        also_good = frame_entry({"op": "record", "key": "b"})
+        torn = frame_entry({"op": "record", "key": "c"})[:-7]  # no newline
+        data = good + also_good + torn
+        payloads, end = scan_frames(data)
+        assert [p["key"] for p in payloads] == ["a", "b"]
+        assert end == len(good) + len(also_good)
+        # a bad frame hides everything after it (prefix-validity rule)
+        data = good + b"XX corrupt line\n" + also_good
+        payloads, end = scan_frames(data)
+        assert [p["key"] for p in payloads] == ["a"]
+        assert end == len(good)
+
+
+# ---------------------------------------------------------------------------
+# Journal basics
+# ---------------------------------------------------------------------------
+
+class TestJournalStore:
+    def test_roundtrip_and_autodetect(self, tmp_path):
+        path = str(tmp_path / "store.journal")
+        store = ResultStore(path, format="journal")
+        assert isinstance(store, JournalStore)
+        fill(store, ["k1", "k2", "k3"])
+        store.put_failure("k4", JobFailure(reason="timeout", detail="3s"))
+        store.flush()
+        assert detect_format(path) == "journal"
+
+        # plain ResultStore(path) dispatches by sniffing the file
+        clone = ResultStore(path)
+        assert isinstance(clone, JournalStore)
+        assert len(clone) == 4
+        assert clone.get("k2") is not None
+        failures = list(clone.failures())
+        assert len(failures) == 1 and failures[0][1].reason == "timeout"
+        # failure entries read as cache misses, like the JSON store
+        assert clone.get_record("k4") is None
+
+    def test_appends_supersede_and_count(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = ResultStore(path, format="journal")
+        fill(store, ["a", "b"])
+        store.flush()
+        size_after_first = os.path.getsize(path)
+        store.put("a", sample_summary(offered_load=0.9))
+        store.flush()
+        # append-only: the second flush grew the file, no rewrite
+        assert os.path.getsize(path) > size_after_first
+
+        clone = ResultStore(path)
+        assert len(clone) == 2  # last write wins
+        assert clone.get("a").offered_load == pytest.approx(0.9)
+        info = clone.describe()
+        assert info["journal_ops"] == 3 and info["superseded"] == 1
+
+    def test_flush_is_incremental_not_o_store(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = ResultStore(path, format="journal")
+        fill(store, [f"k{i}" for i in range(50)])
+        store.flush()
+        size = os.path.getsize(path)
+        store.put("one-more", sample_summary())
+        store.flush()
+        growth = os.path.getsize(path) - size
+        # one record's frame, not 51 of them
+        assert 0 < growth < size / 10
+
+    def test_records_keep_full_fidelity(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        record = RunRecord(
+            summary=sample_summary(),
+            channels={"ts": {"meta": {"interval": 10}, "data": [1, 2, 3]}},
+            windows=[{"label": "w0", "summary": sample_summary().to_dict()}],
+            provenance={"config_key": "abc", "engine_cycles": 450},
+        )
+        store = ResultStore(path, format="journal")
+        store.put_record("k", record, meta={"series": "S", "load": 0.5})
+        store.flush()
+        _, clone, meta = next(ResultStore(path).entries())
+        assert clone.to_dict() == record.to_dict()
+        assert meta == {"series": "S", "load": 0.5}
+
+    def test_compaction_drops_dead_ops(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = JournalStore(path)
+        for _ in range(4):
+            fill(store, ["a", "b", "c"])
+            store.flush()
+        assert store.journal_ops == 12
+        size_before = os.path.getsize(path)
+        store.compact()
+        assert store.compactions == 1
+        assert store.journal_ops == 3
+        assert os.path.getsize(path) < size_before
+        clone = ResultStore(path)
+        assert len(clone) == 3 and clone.compactions == 1
+
+    def test_auto_compaction_trigger(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = JournalStore(path, compact_min_ops=8)
+        for _ in range(6):
+            fill(store, ["a", "b"])
+            store.flush()
+        # 12 ops, 2 live -> dead fraction 10/12 > 0.5 with min_ops reached
+        assert store.compactions == 1
+        assert ResultStore(path).describe()["entries"] == 2
+
+    def test_no_file_until_first_flush(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = ResultStore(path, format="journal")
+        store.flush()  # nothing written, nothing to create
+        assert not os.path.exists(path)
+
+
+# ---------------------------------------------------------------------------
+# Torn-write recovery
+# ---------------------------------------------------------------------------
+
+class TestTornTailRecovery:
+    def _build(self, tmp_path, n=6) -> str:
+        path = str(tmp_path / "s.journal")
+        store = ResultStore(path, format="journal")
+        fill(store, [f"k{i}" for i in range(n)])
+        store.flush()
+        return path
+
+    def test_truncation_at_every_byte_offset(self, tmp_path):
+        """SIGKILL at an arbitrary byte offset == the file ends there.
+
+        For *every* prefix length of a real journal, opening the prefix
+        must salvage exactly the fully-framed records and never raise.
+        """
+        path = self._build(tmp_path)
+        data = open(path, "rb").read()
+        # frame boundaries: offsets at which a frame ends
+        _, _ = scan_frames(data)
+        boundaries = []
+        pos = 0
+        while pos < len(data):
+            nl = data.find(b"\n", pos)
+            boundaries.append(nl + 1)
+            pos = nl + 1
+        target = str(tmp_path / "torn.journal")
+        # below len(magic) bytes the file no longer sniffs as a journal at
+        # all (auto-dispatch falls back to a fresh JSON store, also lossless
+        # in the sense that there was nothing complete to salvage)
+        for cut in range(len(b"J1 "), len(data) + 1):
+            with open(target, "wb") as handle:
+                handle.write(data[:cut])
+            complete = sum(1 for b in boundaries if b <= cut)
+            store = ResultStore(target)
+            # header frame is boundary 0; records are the rest
+            expected_records = max(0, complete - 1)
+            assert len(store) == expected_records, f"cut at byte {cut}"
+            if cut not in (0, *boundaries):
+                assert store.torn_salvages == 1
+                # the truncation repaired the file: reopening is clean
+                # (a cut inside the very first frame truncates to an empty
+                # file, which then sniffs as a fresh store)
+                if os.path.getsize(target):
+                    assert ResultStore(target).torn_salvages == 0
+
+    def test_garbage_tail_is_dropped_and_file_repaired(self, tmp_path):
+        path = self._build(tmp_path)
+        good_size = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"J1 999 0badc0de {\"op\": \"rec")
+        store = ResultStore(path)
+        assert len(store) == 6
+        assert store.torn_salvages == 1 and store.torn_bytes_dropped > 0
+        assert os.path.getsize(path) == good_size
+        # salvaged store is immediately writable again
+        store.put("k-after", sample_summary())
+        store.flush()
+        assert len(ResultStore(path)) == 7
+
+    def test_corrupt_middle_hides_later_records(self, tmp_path):
+        # prefix-validity: a flipped byte mid-journal drops everything after
+        # it (indistinguishable from interleaved torn writes), but every
+        # record before the corruption survives.
+        path = self._build(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0x01
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        store = ResultStore(path)
+        assert 0 < len(store) < 6
+        assert store.torn_salvages == 1
+
+
+# ---------------------------------------------------------------------------
+# Crash safety (subprocess hard-kills)
+# ---------------------------------------------------------------------------
+
+class TestCrashSafety:
+    def test_sigkill_mid_append_loop(self, tmp_path):
+        """Kill -9 a live writer; reopen salvages every flushed record."""
+        path = str(tmp_path / "s.journal")
+        script = """
+        path = sys.argv[1]
+        store = ResultStore(path, format="journal")
+        i = 0
+        while True:
+            i += 1
+            store.put(f"key{i}", summary(i))
+            store.flush()
+            print(i, flush=True)
+        """
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_PRELUDE + textwrap.dedent(script), path],
+            stdout=subprocess.PIPE, text=True, env=dict(os.environ),
+        )
+        flushed = 0
+        try:
+            while flushed < 5:
+                line = child.stdout.readline()
+                assert line, "writer died before reaching 5 flushes"
+                flushed = int(line)
+        finally:
+            child.kill()
+            child.wait(timeout=30)
+        store = ResultStore(path)
+        # every record the child reported as flushed survived the SIGKILL
+        assert len(store) >= flushed
+        for i in range(1, flushed + 1):
+            assert store.get(f"key{i}") is not None
+        # the dead writer's lock is not stuck: we can write immediately
+        store.put("after", sample_summary())
+        store.flush()
+
+    def test_crash_mid_append_write(self, tmp_path):
+        """Die after half a frame batch hits disk (REPRO_TEST_STORE_CRASH)."""
+        path = str(tmp_path / "s.journal")
+        store = ResultStore(path, format="journal")
+        fill(store, ["a", "b", "c"])
+        store.flush()
+        script = """
+        path = sys.argv[1]
+        store = ResultStore(path)
+        store.put("d", summary(4))
+        store.put("e", summary(5))
+        os.environ["REPRO_TEST_STORE_CRASH"] = "append-partial"
+        store.flush()
+        print("unreachable")
+        """
+        result = run_child(script, path)
+        assert result.returncode == 17, result.stderr
+        clone = ResultStore(path)
+        # prior records all intact; the torn batch partially salvaged at a
+        # frame boundary (here: "d" completes, "e" is the torn half)
+        assert {"a", "b", "c"} <= {key for key, _, _ in clone.entries()}
+        assert clone.torn_salvages in (0, 1)
+        assert len(clone) in (3, 4)
+
+    def test_crash_before_compaction_replace(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = JournalStore(path)
+        for _ in range(3):
+            fill(store, ["a", "b"])
+            store.flush()
+        script = """
+        from repro.store import JournalStore
+        store = JournalStore(sys.argv[1])
+        store.compact()
+        """
+        result = run_child(
+            script, path, env={"REPRO_TEST_STORE_CRASH": "compact-before-replace"}
+        )
+        assert result.returncode == 17, result.stderr
+        # old journal untouched (all ops still there), tmp snapshot cleaned
+        clone = JournalStore(path)
+        assert len(clone) == 2
+        assert clone.journal_ops == 6 and clone.compactions == 0
+        clone.compact()  # open cleaned the stale tmp; compaction completes
+        assert not [
+            name for name in os.listdir(tmp_path) if ".compact." in name
+        ]
+
+    def test_crash_after_compaction_replace(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = JournalStore(path)
+        for _ in range(3):
+            fill(store, ["a", "b"])
+            store.flush()
+        script = """
+        from repro.store import JournalStore
+        store = JournalStore(sys.argv[1])
+        store.compact()
+        """
+        result = run_child(
+            script, path, env={"REPRO_TEST_STORE_CRASH": "compact-after-replace"}
+        )
+        assert result.returncode == 17, result.stderr
+        # the complete new generation was published before the crash
+        clone = JournalStore(path)
+        assert len(clone) == 2
+        assert clone.journal_ops == 2 and clone.compactions == 1
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers
+# ---------------------------------------------------------------------------
+
+class TestConcurrentWriters:
+    def test_two_processes_zero_lost_records(self, tmp_path):
+        """Two simultaneous writer processes -> the exact union survives."""
+        path = str(tmp_path / "shared.journal")
+        script = """
+        path, prefix, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+        store = ResultStore(path, format="journal")
+        for i in range(count):
+            store.put(f"{prefix}{i}", summary(i + 1))
+            store.flush()
+        store.close()
+        print("done", flush=True)
+        """
+        env = dict(os.environ)
+        children = [
+            subprocess.Popen(
+                [
+                    sys.executable, "-c", CHILD_PRELUDE + textwrap.dedent(script),
+                    path, prefix, "20",
+                ],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+            )
+            for prefix in ("alpha", "beta")
+        ]
+        for child in children:
+            out, err = child.communicate(timeout=120)
+            assert child.returncode == 0, err
+            assert "done" in out
+        store = ResultStore(path)
+        expected = {f"alpha{i}" for i in range(20)} | {f"beta{i}" for i in range(20)}
+        assert {key for key, _, _ in store.entries()} == expected
+
+    def test_in_process_interleaving_and_refresh(self, tmp_path):
+        path = str(tmp_path / "shared.journal")
+        a = ResultStore(path, format="journal")
+        b = ResultStore(path, format="journal")
+        a.put("a1", sample_summary()); a.flush()
+        b.put("b1", sample_summary()); b.flush()  # absorbs a1
+        a.put("a2", sample_summary()); a.flush()  # absorbs b1
+        assert b.refresh_from_disk() == 1  # a2
+        assert a.refresh_from_disk() == 0  # already absorbed b1 at flush
+        assert len(a) == len(b) == 3
+        assert b.absorbed_records == 2
+
+    def test_peer_compaction_resync_loses_nothing(self, tmp_path):
+        path = str(tmp_path / "shared.journal")
+        a = ResultStore(path, format="journal")
+        b = ResultStore(path, format="journal")
+        fill(a, ["a1", "a2"]); a.flush()
+        fill(b, ["b1"]); b.flush()
+        a.compact()  # new file generation while b holds an old offset
+        assert a.compactions == 1
+        b.put("b2", sample_summary())
+        b.flush()  # detects the generation bump, resyncs, then appends
+        assert b.compactions == 1
+        union = {key for key, _, _ in ResultStore(path).entries()}
+        assert union == {"a1", "a2", "b1", "b2"}
+
+    def test_lock_released_by_dead_process(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        script = """
+        from repro.store import StoreLock
+        lock = StoreLock(sys.argv[1])
+        assert lock.try_acquire()
+        print("locked", flush=True)
+        import time
+        time.sleep(60)
+        """
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_PRELUDE + textwrap.dedent(script), path],
+            stdout=subprocess.PIPE, text=True, env=dict(os.environ),
+        )
+        try:
+            assert child.stdout.readline().strip() == "locked"
+            lock = StoreLock(path, timeout=0.5)
+            assert not lock.try_acquire()  # held by the live child
+            child.kill()
+            child.wait(timeout=30)
+            deadline = time.monotonic() + 10
+            acquired = False
+            while time.monotonic() < deadline and not acquired:
+                acquired = lock.try_acquire()  # kernel released it on death
+                if not acquired:
+                    time.sleep(0.05)
+            assert acquired
+            lock.release()
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
+
+
+# ---------------------------------------------------------------------------
+# Formats and migration
+# ---------------------------------------------------------------------------
+
+class TestFormatsAndMigration:
+    def test_json_store_migrates_to_journal_on_open(self, tmp_path):
+        path = str(tmp_path / "old.json")
+        legacy = ResultStore(path, format="json")
+        assert isinstance(legacy, JsonStore)
+        fill(legacy, ["k1", "k2"])
+        legacy.close()
+        assert detect_format(path) == "json"
+
+        migrated = ResultStore(path, format="journal")
+        assert isinstance(migrated, JournalStore)
+        assert detect_format(path) == "journal"
+        assert len(migrated) == 2 and migrated.get("k1") is not None
+
+    def test_v1_json_migrates_through_to_journal(self, tmp_path):
+        path = str(tmp_path / "v1.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "version": 1,
+                    "results": {
+                        "oldkey": {
+                            "result": sample_summary().to_dict(),
+                            "meta": {"series": "S"},
+                        }
+                    },
+                },
+                handle,
+            )
+        store = ResultStore(path, format="journal")
+        assert store.migrated == 1
+        assert store.get("oldkey") is not None
+        clone = ResultStore(path)
+        assert isinstance(clone, JournalStore)
+        record = clone.get_record("oldkey")
+        assert record.provenance.get("migrated_from") == 1
+
+    def test_auto_preserves_existing_json(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        store = ResultStore(path)  # fresh + auto -> legacy-compatible json
+        assert isinstance(store, JsonStore)
+        fill(store, ["k"])
+        store.close()
+        assert detect_format(path) == "json"
+        payload = json.load(open(path, encoding="utf-8"))
+        assert payload["version"] == 2 and "k" in payload["results"]
+        assert isinstance(ResultStore(path), JsonStore)
+
+    def test_json_over_journal_is_refused(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        store = ResultStore(path, format="journal")
+        fill(store, ["k"])
+        store.flush()
+        with pytest.raises(StoreError):
+            ResultStore(path, format="json")
+
+    def test_strict_open_errors(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(str(tmp_path / "missing.journal"), strict=True,
+                        format="journal")
+        garbage = tmp_path / "garbage.bin"
+        garbage.write_bytes(b"\x00\x01\x02 not a store")
+        with pytest.raises(StoreError):
+            ResultStore(str(garbage), strict=True, format="journal")
+
+    def test_migration_never_destroys_unreadable_json(self, tmp_path):
+        # journal-format open of a damaged JSON file must raise, not replace
+        # the file with an empty journal.
+        path = tmp_path / "broken.json"
+        path.write_text("{oops", encoding="utf-8")
+        with pytest.raises(StoreError):
+            ResultStore(str(path), format="journal")
+        assert path.read_text(encoding="utf-8") == "{oops"
+
+
+# ---------------------------------------------------------------------------
+# Legacy JSON store durability (satellites 1 + 2)
+# ---------------------------------------------------------------------------
+
+class TestJsonStoreDurability:
+    def test_concurrent_writer_warning(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        first = ResultStore(path, format="json")
+        fill(first, ["k1"])  # first write acquires the writer lock
+        second = ResultStore(path, format="json")
+        with pytest.warns(ConcurrentWriterWarning):
+            second.put("k2", sample_summary())
+        first.close()
+
+    def test_concurrent_writer_strict_is_error(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        first = ResultStore(path, format="json")
+        fill(first, ["k1"])
+        first.flush()
+        second = ResultStore(path, strict=True)
+        assert isinstance(second, JsonStore)
+        with pytest.raises(StoreError):
+            second.put("k2", sample_summary())
+        first.close()
+
+    def test_readonly_open_never_touches_the_lock(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        writer = ResultStore(path, format="json")
+        fill(writer, ["k1"])
+        writer.flush()
+        # an inspect-style strict open while the writer is live: fine
+        reader = ResultStore(path, strict=True)
+        assert len(reader) == 1
+        assert reader.describe()["lock_held"] is False
+        writer.close()
+
+    def test_lock_frees_on_close_for_next_writer(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        first = ResultStore(path, format="json")
+        fill(first, ["k1"])
+        first.close()
+        second = ResultStore(path, format="json")
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", ConcurrentWriterWarning)
+            second.put("k2", sample_summary())  # no warning: lock was freed
+        second.close()
+
+    def test_flush_byte_format_unchanged(self, tmp_path):
+        # the satellite adds fsyncs only: the written bytes stay the exact
+        # legacy {"version": 2, "results": {...}} json.dump shape.
+        path = str(tmp_path / "s.json")
+        store = ResultStore(path, format="json")
+        store.put("k", sample_summary(), meta={"series": "S"})
+        store.close()
+        payload = json.load(open(path, encoding="utf-8"))
+        assert set(payload) == {"version", "results"}
+        entry = payload["results"]["k"]
+        assert set(entry) == {"record", "meta"}
+        assert entry["record"]["schema_version"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Shared-store sweep resume (real run_jobs)
+# ---------------------------------------------------------------------------
+
+def _tiny_jobs(count: int, seed_base: int) -> list:
+    jobs = []
+    for offset in range(count):
+        config = SimulationConfig(
+            warmup_cycles=150, measure_cycles=300, seed=seed_base + offset
+        ).with_load(0.3)
+        jobs.append(
+            Job(
+                key=config_key(config), series="shared", load=0.3,
+                seed=config.seed, config=config,
+            )
+        )
+    return jobs
+
+
+class TestSharedSweepResume:
+    def test_resumed_sweep_recomputes_nothing(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        jobs = _tiny_jobs(4, seed_base=11)
+        first = ResultStore(path, format="journal")
+        stats = run_jobs(jobs, workers=1, store=first)
+        assert stats.executed == 4
+        first.flush()
+        # a second sweep process (modeled by a fresh store object) resumes
+        resumed = ResultStore(path)
+        stats = run_jobs(jobs, workers=1, store=resumed)
+        assert stats.cache_hits == 4 and stats.executed == 0
+
+    def test_sweep_absorbs_peer_results_before_dispatch(self, tmp_path):
+        path = str(tmp_path / "s.journal")
+        jobs = _tiny_jobs(4, seed_base=31)
+        # store B opens first (empty view of the shared journal) ...
+        b = ResultStore(path, format="journal")
+        # ... then a peer sweep A computes and flushes half the jobs
+        a = ResultStore(path, format="journal")
+        stats_a = run_jobs(jobs[:2], workers=1, store=a)
+        assert stats_a.executed == 2
+        a.flush()
+        # B's sweep re-reads the shared journal before dispatch: the peer's
+        # two results become cache hits, only the rest simulate.
+        stats_b = run_jobs(jobs, workers=1, store=b)
+        assert stats_b.store_absorbed == 2
+        assert stats_b.cache_hits == 2
+        assert stats_b.executed == 2
+        b.flush()
+        union = {key for key, _, _ in ResultStore(path).entries()}
+        assert union == {job.key for job in jobs}
